@@ -1,0 +1,28 @@
+"""Figure 4 — training curves; benchmarks one YOLLO training step."""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.core.trainer import TrainingHistory, YolloTrainer
+from repro.data.loader import encode_batch
+from repro.experiments import figure4
+
+
+def test_figure4_curves(context, results_dir, benchmark):
+    curves = figure4.collect(context)
+    report = figure4.run(context)
+    write_artifact(results_dir, "figure4.txt", report)
+
+    if context.preset.name != "smoke":
+        for curve in curves.values():
+            assert curve.values, "training curves must have recorded points"
+            # Fast convergence claim: 95% of best reached within budget.
+            assert curve.convergence_iteration() <= curve.iterations[-1]
+
+    model, _, _ = context.yollo("RefCOCO")
+    dataset = context.dataset("RefCOCO")
+    trainer = YolloTrainer(model, dataset)
+    batch = encode_batch(dataset["train"][:8], dataset.vocab,
+                         model.config.max_query_length)
+    history = TrainingHistory()
+    benchmark(lambda: trainer._step(batch, history))

@@ -1,0 +1,26 @@
+"""Figure 5 — qualitative attention panels; benchmarks the viz pipeline."""
+
+import os
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.experiments import figure5
+from repro.viz import overlay_attention, render_attention_ascii
+
+
+def test_figure5_qualitative(context, results_dir, benchmark):
+    ppm_dir = os.path.join(results_dir, "figure5")
+    report = figure5.run(context, num_panels=4, ppm_dir=ppm_dir)
+    write_artifact(results_dir, "figure5.txt", report)
+    assert any(name.endswith(".ppm") for name in os.listdir(ppm_dir))
+
+    rng = np.random.default_rng(0)
+    image = rng.random((3, 48, 72))
+    attention = rng.random((6, 9))
+
+    def render():
+        overlay_attention(image, attention)
+        return render_attention_ascii(attention)
+
+    benchmark(render)

@@ -1,0 +1,19 @@
+"""Table 1 — dataset statistics; benchmarks dataset generation."""
+
+from conftest import write_artifact
+
+from repro.data import REFCOCO, build_dataset
+from repro.experiments import table1
+
+
+def test_table1_datasets(context, results_dir, benchmark):
+    report = table1.run(context)
+    write_artifact(results_dir, "table1.txt", report)
+
+    stats = table1.collect(context)
+    # RefCOCOg queries are long sentences; RefCOCO(+) are short phrases.
+    assert stats["RefCOCOg"]["avg_query_length"] > 2 * stats["RefCOCO"]["avg_query_length"]
+    # RefCOCO(+) scenes are denser in same-type distractors than RefCOCOg.
+    assert stats["RefCOCO"]["avg_same_type"] > stats["RefCOCOg"]["avg_same_type"]
+
+    benchmark(lambda: build_dataset(REFCOCO.scaled(0.05)))

@@ -1,0 +1,32 @@
+"""Table 4 — Rel2Att ablations; benchmarks one Rel2Att forward pass."""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.autograd import Tensor, no_grad
+from repro.experiments import table4
+
+
+def test_table4_ablation(context, results_dir, benchmark):
+    results = table4.collect(context)
+    report = table4.run(context)
+    write_artifact(results_dir, "table4.txt", report)
+
+    if context.preset.name != "smoke":
+        full = results["YOLLO"]
+        no_co = results["YOLLO (w/o co-attention)"]
+        # Removing co-attention makes the model query-blind: accuracy
+        # must collapse below the full model on average.
+        assert np.mean(list(no_co.values())) < np.mean(list(full.values()))
+
+    model, _, _ = context.yollo("RefCOCO")
+    block = model.rel2att.blocks[0]
+    rng = np.random.default_rng(0)
+    v = Tensor(rng.normal(size=(1, model.encoder.num_regions, model.config.d_model)))
+    t = Tensor(rng.normal(size=(1, 6, model.config.d_model)))
+
+    def rel2att_forward():
+        with no_grad():
+            return block(v, t)
+
+    benchmark(rel2att_forward)

@@ -1,0 +1,26 @@
+"""Table 5 — inference latency; benchmarks YOLLO single-query inference."""
+
+from conftest import write_artifact
+
+from repro.experiments import table5
+
+
+def test_table5_speed(context, results_dir, benchmark):
+    results = table5.collect(context)
+    report = table5.run(context)
+    write_artifact(results_dir, "table5.txt", report)
+
+    if context.preset.name != "smoke":
+        yollo = results["YOLLO (ResNet-50 C4 backbone)"].total_mean
+        for kind in ("speaker", "listener", "speaker+listener"):
+            two_stage = results[kind].total_mean
+            # The paper reports 20-30x; our scaled system must show the
+            # same order-of-magnitude gap (at least several-fold).
+            assert two_stage > 3.0 * yollo, (
+                f"{kind} should be much slower than YOLLO: "
+                f"{two_stage * 1000:.1f}ms vs {yollo * 1000:.1f}ms"
+            )
+
+    _, grounder, _ = context.yollo("RefCOCO")
+    sample = context.dataset("RefCOCO")["val"][0]
+    benchmark(lambda: grounder.ground(sample.image, sample.query))

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+The session-scoped :func:`context` fixture owns all trained models; the
+first run at a given preset trains everything (tens of minutes at the
+default ``bench`` preset on one core), later runs replay from the disk
+cache in seconds.  Select the preset with ``REPRO_PRESET``
+(smoke / bench / full).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext, get_preset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(preset=get_preset())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: str, name: str, content: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(content + "\n")
+    print("\n" + content)

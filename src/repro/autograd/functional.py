@@ -1,0 +1,223 @@
+"""Structured differentiable operations: convolution, pooling, softmax.
+
+Convolution and pooling use an im2col strategy: the padded input is
+gathered into a ``(N, C, KH, KW, OH, OW)`` column tensor with strided
+slicing (one slice per kernel offset), after which the convolution is a
+single ``tensordot``.  Backward passes scatter-add through the same
+slices, which keeps both directions vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]) -> np.ndarray:
+    """Gather kernel windows of an already-padded NCHW array."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = x[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
+    return cols
+
+
+def _col2im(
+    cols: np.ndarray,
+    padded_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add kernel windows back into a padded NCHW array."""
+    kh, kw = kernel
+    sh, sw = stride
+    oh, ow = cols.shape[-2:]
+    out = np.zeros(padded_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols[:, :, i, j]
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D cross-correlation of NCHW input with an FCKK weight tensor."""
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    kh, kw = weight.shape[2], weight.shape[3]
+    ph, pw = padding
+
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
+    cols = _im2col(x_pad, (kh, kw), stride)
+    # (N, C, KH, KW, OH, OW) x (F, C, KH, KW) -> (N, OH, OW, F)
+    value = np.tensordot(cols, weight.data, axes=([1, 2, 3], [1, 2, 3]))
+    value = value.transpose(0, 3, 1, 2)
+    if bias is not None:
+        value = value + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = x._make_child(value, parents)
+    if out.requires_grad:
+        padded_shape = x_pad.shape
+        in_h, in_w = x.shape[2], x.shape[3]
+
+        def backward(grad: np.ndarray) -> None:
+            if weight.requires_grad:
+                # (N, F, OH, OW) x (N, C, KH, KW, OH, OW) over N, OH, OW
+                grad_w = np.tensordot(grad, cols, axes=([0, 2, 3], [0, 4, 5]))
+                weight._accumulate(grad_w)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                # (N, F, OH, OW) x (F, C, KH, KW) -> (N, OH, OW, C, KH, KW)
+                grad_cols = np.tensordot(grad, weight.data, axes=([1], [0]))
+                grad_cols = grad_cols.transpose(0, 3, 4, 5, 1, 2)
+                grad_pad = _col2im(grad_cols, padded_shape, (kh, kw), stride)
+                grad_x = grad_pad[:, :, ph : ph + in_h, pw : pw + in_w]
+                x._accumulate(grad_x)
+
+        out._backward = backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: IntPair = None) -> Tensor:
+    """Max pooling over NCHW input."""
+    x = as_tensor(x)
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    cols = _im2col(x.data, kernel, stride)
+    n, c, kh, kw, oh, ow = cols.shape
+    flat = cols.reshape(n, c, kh * kw, oh, ow)
+    argmax = flat.argmax(axis=2)
+    value = np.take_along_axis(flat, argmax[:, :, None], axis=2).squeeze(2)
+
+    out = x._make_child(value, (x,))
+    if out.requires_grad:
+        in_shape = x.shape
+
+        def backward(grad: np.ndarray) -> None:
+            grad_flat = np.zeros_like(flat)
+            np.put_along_axis(grad_flat, argmax[:, :, None], grad[:, :, None], axis=2)
+            grad_cols = grad_flat.reshape(n, c, kh, kw, oh, ow)
+            x._accumulate(_col2im(grad_cols, in_shape, kernel, stride))
+
+        out._backward = backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: IntPair = None) -> Tensor:
+    """Average pooling over NCHW input."""
+    x = as_tensor(x)
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    cols = _im2col(x.data, kernel, stride)
+    value = cols.mean(axis=(2, 3))
+
+    out = x._make_child(value, (x,))
+    if out.requires_grad:
+        in_shape = x.shape
+        kh, kw = kernel
+        scale = 1.0 / (kh * kw)
+
+        def backward(grad: np.ndarray) -> None:
+            n, c, oh, ow = grad.shape
+            grad_cols = np.broadcast_to(
+                grad[:, :, None, None] * scale, (n, c, kh, kw, oh, ow)
+            ).copy()
+            x._accumulate(_col2im(grad_cols, in_shape, kernel, stride))
+
+        out._backward = backward
+    return out
+
+
+def pad2d(x: Tensor, padding: IntPair) -> Tensor:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    x = as_tensor(x)
+    ph, pw = _pair(padding)
+    value = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out = x._make_child(value, (x,))
+    if out.requires_grad:
+        h, w = x.shape[2], x.shape[3]
+
+        def backward(grad: np.ndarray) -> None:
+            x._accumulate(grad[:, :, ph : ph + h, pw : pw + w])
+
+        out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+
+    out = x._make_child(value, (x,))
+    if out.requires_grad:
+
+        def backward(grad: np.ndarray) -> None:
+            inner = (grad * value).sum(axis=axis, keepdims=True)
+            x._accumulate(value * (grad - inner))
+
+        out._backward = backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_sum
+
+    out = x._make_child(value, (x,))
+    if out.requires_grad:
+        probs = np.exp(value)
+
+        def backward(grad: np.ndarray) -> None:
+            x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+        out._backward = backward
+    return out
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of an embedding matrix; gradients scatter-add back."""
+    weight = as_tensor(weight)
+    indices = np.asarray(indices, dtype=np.int64)
+    value = weight.data[indices]
+
+    out = weight._make_child(value, (weight,))
+    if out.requires_grad:
+
+        def backward(grad: np.ndarray) -> None:
+            grad_w = np.zeros_like(weight.data)
+            np.add.at(grad_w, indices, grad)
+            weight._accumulate(grad_w)
+
+        out._backward = backward
+    return out

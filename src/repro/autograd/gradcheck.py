@@ -1,0 +1,59 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used extensively by the test suite to validate every primitive operation
+and every layer against numerical derivatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def gradient_check(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare analytic gradients of ``func`` against central differences.
+
+    ``func`` must map the given input tensors to a tensor whose elements
+    are summed to form the scalar objective.  Raises ``AssertionError``
+    with a diagnostic message on mismatch; returns ``True`` otherwise.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+
+    output = func(*inputs)
+    objective = output.sum() if output.size > 1 else output
+    objective.backward()
+
+    for idx, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        if analytic is None:
+            raise AssertionError(f"input {idx} received no gradient")
+        numeric = np.zeros_like(tensor.data, dtype=np.float64)
+        flat = tensor.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + epsilon
+            plus = float(func(*inputs).sum().data)
+            flat[i] = original - epsilon
+            minus = float(func(*inputs).sum().data)
+            flat[i] = original
+            numeric_flat[i] = (plus - minus) / (2.0 * epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {idx}: max abs error {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

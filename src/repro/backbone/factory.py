@@ -1,0 +1,33 @@
+"""Named backbone presets and the builder used across experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.backbone.resnet import MiniResNet
+from repro.backbone.vgg import MiniVGG
+
+#: Preset name -> zero-argument constructor.  ``resnet50`` / ``resnet101``
+#: model the paper's two ResNet-C4 depths at laptop scale; ``vgg`` is the
+#: footnote variant; ``tiny`` keeps unit tests fast.  Trunks are
+#: norm-free by default: at this scale normalisation slows optimisation
+#: without helping, and batch-independence keeps train == eval.
+BACKBONE_PRESETS: Dict[str, Callable[[], object]] = {
+    "resnet50": lambda: MiniResNet(
+        stage_channels=(24, 32), blocks_per_stage=(1, 1), norm="none"
+    ),
+    "resnet101": lambda: MiniResNet(
+        stage_channels=(24, 32), blocks_per_stage=(2, 2), norm="none"
+    ),
+    "vgg": lambda: MiniVGG(stage_channels=(16, 24, 32), norm="none"),
+    "tiny": lambda: MiniResNet(
+        stem_channels=12, stage_channels=(16, 24), blocks_per_stage=(1, 1), norm="none"
+    ),
+}
+
+
+def build_backbone(name: str):
+    """Instantiate a backbone preset by name."""
+    if name not in BACKBONE_PRESETS:
+        raise KeyError(f"unknown backbone '{name}'; choose from {sorted(BACKBONE_PRESETS)}")
+    return BACKBONE_PRESETS[name]()

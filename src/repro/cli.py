@@ -1,0 +1,178 @@
+"""Command-line interface: train, evaluate, ground, and report.
+
+Usage::
+
+    python -m repro.cli train --dataset RefCOCO --epochs 10 --out model.npz
+    python -m repro.cli evaluate --dataset RefCOCO --model model.npz
+    python -m repro.cli ground --dataset RefCOCO --model model.npz --query "red dog"
+    python -m repro.cli tables --preset smoke --only table1 table5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="RefCOCO",
+                        choices=["RefCOCO", "RefCOCO+", "RefCOCOg"])
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--float64", action="store_true",
+                        help="train in float64 (default float32)")
+
+
+def _setup(args) -> None:
+    from repro.autograd import set_default_dtype
+    from repro.utils import seed_everything
+
+    set_default_dtype(np.float64 if args.float64 else np.float32)
+    seed_everything(args.seed)
+
+
+def _build_dataset(args):
+    from repro.data import REFCOCO, REFCOCO_PLUS, REFCOCOG, build_dataset
+
+    spec = {"RefCOCO": REFCOCO, "RefCOCO+": REFCOCO_PLUS, "RefCOCOg": REFCOCOG}[
+        args.dataset
+    ]
+    return build_dataset(spec.scaled(args.scale))
+
+
+def _build_model(args, dataset):
+    from repro.backbone import load_pretrained_backbone
+    from repro.core import YolloConfig, YolloModel
+
+    config = YolloConfig(backbone=args.backbone,
+                         max_query_length=max(8, dataset.max_query_length))
+    backbone = load_pretrained_backbone(config.backbone, steps=args.pretrain_steps)
+    return YolloModel(config, vocab_size=len(dataset.vocab), backbone=backbone), config
+
+
+def cmd_train(args) -> int:
+    from repro.core import YolloTrainer
+    from repro.utils import ProgressLogger
+
+    _setup(args)
+    dataset = _build_dataset(args)
+    model, config = _build_model(args, dataset)
+    trainer = YolloTrainer(model, dataset, config,
+                           logger=ProgressLogger("train", enabled=not args.quiet))
+    history = trainer.train(epochs=args.epochs, eval_every=args.eval_every)
+    if history.curve.values:
+        print(history.curve.render_ascii())
+    model.save(args.out)
+    print(f"saved checkpoint to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.core import Grounder
+    from repro.eval import evaluate_grounder, format_table
+
+    _setup(args)
+    dataset = _build_dataset(args)
+    model, _ = _build_model(args, dataset)
+    model.load(args.model)
+    grounder = Grounder(model, dataset.vocab)
+    rows = []
+    for split in dataset.split_names():
+        if split == "train":
+            continue
+        report = evaluate_grounder(grounder, dataset[split])
+        rows.append([split] + [v * 100 for v in report.as_dict().values()])
+    print(format_table(["Split", "ACC", "ACC@0.5", "ACC@0.75", "MIOU"], rows,
+                       title=f"YOLLO on {args.dataset}"))
+    return 0
+
+
+def cmd_ground(args) -> int:
+    from repro.core import Grounder
+    from repro.viz import render_attention_ascii
+
+    _setup(args)
+    dataset = _build_dataset(args)
+    model, _ = _build_model(args, dataset)
+    model.load(args.model)
+    grounder = Grounder(model, dataset.vocab)
+    sample = dataset["val"][args.index]
+    query = args.query or sample.query
+    prediction = grounder.ground(sample.image, query)
+    print(f'query: "{query}"')
+    print(f"box: {np.round(prediction.box, 1).tolist()}  score: {prediction.score:.3f}")
+    print(render_attention_ascii(prediction.attention_map, box=prediction.box,
+                                 stride=model.encoder.backbone.stride))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.experiments import (
+        ExperimentContext, figure4, figure5, get_preset,
+        table1, table2, table3, table4, table5,
+    )
+
+    modules = {
+        "table1": table1, "table2": table2, "table3": table3,
+        "table4": table4, "table5": table5, "figure4": figure4,
+        "figure5": figure5,
+    }
+    chosen = args.only or list(modules)
+    context = ExperimentContext(preset=get_preset(args.preset))
+    for name in chosen:
+        print(modules[name].run(context))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a YOLLO model")
+    _add_common(train)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--backbone", default="resnet50")
+    train.add_argument("--pretrain-steps", type=int, default=300)
+    train.add_argument("--eval-every", type=int, default=50)
+    train.add_argument("--out", default="yollo.npz")
+    train.add_argument("--quiet", action="store_true")
+    train.set_defaults(func=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    _add_common(evaluate)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--backbone", default="resnet50")
+    evaluate.add_argument("--pretrain-steps", type=int, default=1)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    ground = sub.add_parser("ground", help="ground one query in a val image")
+    _add_common(ground)
+    ground.add_argument("--model", required=True)
+    ground.add_argument("--backbone", default="resnet50")
+    ground.add_argument("--pretrain-steps", type=int, default=1)
+    ground.add_argument("--query", default=None,
+                        help="free-form query (defaults to the sample's)")
+    ground.add_argument("--index", type=int, default=0)
+    ground.set_defaults(func=cmd_ground)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables/figures")
+    tables.add_argument("--preset", default=None, choices=["smoke", "bench", "full"])
+    tables.add_argument("--only", nargs="*", default=None,
+                        choices=["table1", "table2", "table3", "table4",
+                                 "table5", "figure4", "figure5"])
+    tables.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""RPN-like target detection network (Section 3.3).
+
+Two 3x3 convolutions map the attended feature map to a hidden
+representation; sibling 1x1 convolutions predict, for each of the ``K``
+anchors of every cell, a binary (background/target) score pair and a
+4-tuple of bounding-box offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.autograd import Tensor
+from repro.core.config import YolloConfig
+from repro.detection import AnchorGrid
+from repro.nn import Conv2d, Module
+
+
+class TargetDetectionNetwork(Module):
+    """Predict per-anchor target scores and box offsets."""
+
+    def __init__(self, config: YolloConfig, grid_h: int, grid_w: int, stride: int):
+        super().__init__()
+        self.config = config
+        self.anchor_grid = AnchorGrid(
+            grid_h=grid_h,
+            grid_w=grid_w,
+            stride=stride,
+            scales=config.anchor_scales,
+            aspect_ratios=config.anchor_ratios,
+        )
+        k = self.anchor_grid.num_anchors_per_cell
+        hidden = config.head_hidden
+        self.conv1 = Conv2d(config.d_model, hidden, 3, padding=1)
+        self.conv2 = Conv2d(hidden, hidden, 3, padding=1)
+        self.cls_head = Conv2d(hidden, 2 * k, 1)
+        self.reg_head = Conv2d(hidden, 4 * k, 1)
+
+    def forward(self, feature_map: Tensor) -> Tuple[Tensor, Tensor]:
+        """Feature map ``(B, d, gh, gw)`` -> ``(cls (B,A,2), offsets (B,A,4))``.
+
+        Anchor ordering matches :meth:`AnchorGrid.all_anchors`: row-major
+        cells with the K per-cell anchors contiguous.
+        """
+        batch = feature_map.shape[0]
+        grid = self.anchor_grid
+        k = grid.num_anchors_per_cell
+        hidden = self.conv2(self.conv1(feature_map).relu()).relu()
+
+        cls = self.cls_head(hidden)  # (B, 2K, gh, gw)
+        cls = cls.reshape(batch, k, 2, grid.grid_h, grid.grid_w)
+        cls = cls.transpose(0, 3, 4, 1, 2).reshape(batch, grid.num_anchors, 2)
+
+        reg = self.reg_head(hidden)  # (B, 4K, gh, gw)
+        reg = reg.reshape(batch, k, 4, grid.grid_h, grid.grid_w)
+        reg = reg.transpose(0, 3, 4, 1, 2).reshape(batch, grid.num_anchors, 4)
+        return cls, reg

@@ -1,0 +1,109 @@
+"""Feature encoder: dense image regions + position-aware word features.
+
+Implements Section 3.1: a CNN feature map is flattened into a sequence of
+region vectors (one per grid cell), and each query word embedding is
+summed with a positional embedding.  Both modalities are projected to the
+shared ``d_model`` width so the Rel2Att stack can fuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.backbone import build_backbone
+from repro.core.config import YolloConfig
+from repro.nn import Embedding, LayerNorm, Linear, Module, Parameter
+from repro.text.position import learned_position_table, sinusoidal_position_table
+
+
+class FeatureEncoder(Module):
+    """Encode ``(images, token_ids)`` into sequences ``V (B,m,d)`` / ``T (B,n,d)``."""
+
+    def __init__(self, config: YolloConfig, vocab_size: int,
+                 pretrained_embeddings: Optional[np.ndarray] = None,
+                 backbone: Optional[Module] = None):
+        super().__init__()
+        self.config = config
+        self.backbone = backbone if backbone is not None else build_backbone(config.backbone)
+        self.grid_h = config.image_height // self.backbone.stride
+        self.grid_w = config.image_width // self.backbone.stride
+        self.num_regions = self.grid_h * self.grid_w
+
+        self.image_proj = Linear(self.backbone.out_channels, config.d_model)
+        # Region features are normalised to O(1) so the relation map and
+        # detection head see a scale that is independent of the trunk's
+        # activation statistics (the norm-free trunk can emit O(10)).
+        self.image_norm = LayerNorm(config.d_model)
+        self.word_embedding = Embedding(vocab_size, config.d_model, padding_idx=0)
+        if pretrained_embeddings is not None:
+            self.load_pretrained_embeddings(pretrained_embeddings)
+
+        if config.learned_positions:
+            self.position_table = Parameter(
+                learned_position_table(config.max_query_length, config.d_model)
+            )
+        else:
+            self._fixed_positions = sinusoidal_position_table(
+                config.max_query_length, config.d_model
+            )
+            self.position_table = None
+
+        # Learned 2-D position embeddings for image regions.  The query
+        # side gets positional embeddings in the paper; regions need the
+        # analogous treatment because convolutional features are
+        # translation-invariant and location words ("left", "top") are
+        # otherwise ungroundable.
+        self.region_position_table = Parameter(
+            learned_position_table(self.num_regions, config.d_model)
+        )
+
+    def load_pretrained_embeddings(self, matrix: np.ndarray) -> None:
+        """Initialise the word embedding from a pre-trained Word2Vec matrix.
+
+        The matrix may be narrower than ``d_model`` (the pre-training dim
+        is independent); extra columns keep their random initialisation,
+        mirroring partial-initialisation practice.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape[0] != self.word_embedding.num_embeddings:
+            raise ValueError(
+                f"embedding rows {matrix.shape[0]} != vocab size "
+                f"{self.word_embedding.num_embeddings}"
+            )
+        width = min(matrix.shape[1], self.config.d_model)
+        self.word_embedding.weight.data[:, :width] = matrix[:, :width]
+
+    # ------------------------------------------------------------------
+    def encode_image(self, images: Tensor) -> Tensor:
+        """Images ``(B,3,H,W)`` -> region sequence ``(B, m, d_model)``."""
+        feature_map = self.backbone(images)  # (B, C, gh, gw)
+        batch = feature_map.shape[0]
+        flat = feature_map.reshape(batch, self.backbone.out_channels, self.num_regions)
+        sequence = flat.transpose(0, 2, 1)  # (B, m, C)
+        return self.image_norm(self.image_proj(sequence)) + self.region_position_table
+
+    def encode_query(self, token_ids: np.ndarray) -> Tensor:
+        """Token ids ``(B, n)`` -> word sequence ``(B, n, d_model)``.
+
+        Implements t_i = e_i + p_i (word embedding plus position).
+        """
+        n = token_ids.shape[1]
+        if n > self.config.max_query_length:
+            raise ValueError(
+                f"query length {n} exceeds max_query_length {self.config.max_query_length}"
+            )
+        embedded = self.word_embedding(token_ids)
+        if self.position_table is not None:
+            positions = self.position_table[:n]
+        else:
+            positions = Tensor(self._fixed_positions[:n])
+        return embedded + positions
+
+    def forward(self, images: Tensor, token_ids: np.ndarray) -> Tuple[Tensor, Tensor]:
+        return self.encode_image(images), self.encode_query(token_ids)
+
+    def grid_shape(self) -> Tuple[int, int]:
+        return (self.grid_h, self.grid_w)

@@ -1,0 +1,129 @@
+"""YOLLO training losses (Eqs. 6-9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, log_softmax
+from repro.core.config import YolloConfig
+from repro.detection import AnchorGrid, AnchorMatcher, BalancedSampler
+from repro.nn import smooth_l1, softmax_cross_entropy
+
+
+@dataclass
+class LossBreakdown:
+    """Total loss tensor plus detached component values for logging."""
+
+    total: Tensor
+    att: float
+    cls: float
+    reg: float
+
+
+def build_gt_mask(target_boxes: np.ndarray, grid_h: int, grid_w: int,
+                  stride: float) -> np.ndarray:
+    """Rasterise target boxes into ground-truth attention masks (Sec. 3.2).
+
+    Each box is scaled to feature-map coordinates; cells inside receive
+    ``1 / (w_r * h_r)`` and cells outside zero, so each mask sums to one.
+    Returns ``(B, grid_h * grid_w)``.
+    """
+    target_boxes = np.asarray(target_boxes, dtype=np.float64)
+    batch = target_boxes.shape[0]
+    masks = np.zeros((batch, grid_h, grid_w))
+    for b in range(batch):
+        x1, y1, x2, y2 = target_boxes[b] / stride
+        col1 = int(np.clip(np.floor(x1), 0, grid_w - 1))
+        col2 = int(np.clip(np.ceil(x2), col1 + 1, grid_w))
+        row1 = int(np.clip(np.floor(y1), 0, grid_h - 1))
+        row2 = int(np.clip(np.ceil(y2), row1 + 1, grid_h))
+        area = (row2 - row1) * (col2 - col1)
+        masks[b, row1:row2, col1:col2] = 1.0 / area
+    return masks.reshape(batch, grid_h * grid_w)
+
+
+def attention_mask_loss(att_v: Tensor, gt_mask: np.ndarray) -> Tensor:
+    """Eq. (6): cross-entropy between softmax(att_v) and the box mask."""
+    log_p = log_softmax(att_v, axis=-1)
+    return -(log_p * Tensor(gt_mask)).sum(axis=-1).mean()
+
+
+def detection_loss(
+    cls_logits: Tensor,
+    reg_offsets: Tensor,
+    target_boxes: np.ndarray,
+    anchor_grid: AnchorGrid,
+    config: YolloConfig,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Eqs. (7)-(8): sampled classification + positive-only regression.
+
+    Anchors are labelled with the rho_high/rho_low rule, ``N`` anchors
+    per image are sampled (balanced positive/negative), classification is
+    2-way softmax cross-entropy, and regression is smooth-L1 on the
+    positives only (the ``p_i^*`` factor).
+    Returns ``(cls_loss, reg_loss)`` tensors averaged over the batch.
+    """
+    anchors = anchor_grid.all_anchors()
+    matcher = AnchorMatcher(rho_high=config.rho_high, rho_low=config.rho_low)
+    sampler = BalancedSampler(batch_size=config.anchor_batch)
+    batch = cls_logits.shape[0]
+
+    cls_terms: List[Tensor] = []
+    reg_terms: List[Tensor] = []
+    for b in range(batch):
+        match = matcher.match(anchors, target_boxes[b])
+        indices, labels = sampler.sample(match, rng=rng)
+        picked_logits = cls_logits[b][indices]
+        cls_terms.append(softmax_cross_entropy(picked_logits, labels))
+
+        if config.regress_ignore_band:
+            regressed = np.flatnonzero(match.ious >= config.rho_low)
+            if len(regressed) == 0:
+                regressed = match.positive_indices
+        else:
+            regressed = match.positive_indices
+        picked_offsets = reg_offsets[b][regressed]
+        offset_targets = match.offsets[regressed]
+        reg_terms.append(smooth_l1(picked_offsets, offset_targets).sum(axis=-1).mean())
+
+    cls_loss = sum(cls_terms[1:], cls_terms[0]) / float(batch)
+    reg_loss = sum(reg_terms[1:], reg_terms[0]) / float(batch)
+    return cls_loss, reg_loss
+
+
+def yollo_loss(
+    attention_masks: Sequence[Tensor],
+    cls_logits: Tensor,
+    reg_offsets: Tensor,
+    target_boxes: np.ndarray,
+    anchor_grid: AnchorGrid,
+    config: YolloConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> LossBreakdown:
+    """Eq. (9): ``L = L_att + L_cls + lambda * L_reg``.
+
+    ``attention_masks`` are the raw per-module masks from the Rel2Att
+    stack; with ``att_loss_on_all_modules`` every module is supervised
+    (deep supervision), otherwise only the last.
+    """
+    gt_mask = build_gt_mask(
+        target_boxes, anchor_grid.grid_h, anchor_grid.grid_w, anchor_grid.stride
+    )
+    supervised = attention_masks if config.att_loss_on_all_modules else attention_masks[-1:]
+    att_terms = [attention_mask_loss(mask, gt_mask) for mask in supervised]
+    att_loss = sum(att_terms[1:], att_terms[0]) / float(len(att_terms))
+
+    cls_loss, reg_loss = detection_loss(
+        cls_logits, reg_offsets, target_boxes, anchor_grid, config, rng=rng
+    )
+    total = config.lambda_att * att_loss + cls_loss + config.lambda_reg * reg_loss
+    return LossBreakdown(
+        total=total,
+        att=float(att_loss.data),
+        cls=float(cls_loss.data),
+        reg=float(reg_loss.data),
+    )

@@ -1,0 +1,48 @@
+"""High-level inference wrapper: ground free-form queries in images."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.yollo import GroundingPrediction, YolloModel
+from repro.data.refcoco import GroundingSample
+from repro.text.vocab import Vocabulary
+
+
+class Grounder:
+    """Bundle a trained YOLLO model with its vocabulary.
+
+    Exposes the single-query API used by the examples and implements the
+    batch grounder protocol consumed by :func:`repro.eval.evaluate_grounder`.
+    """
+
+    def __init__(self, model: YolloModel, vocab: Vocabulary):
+        self.model = model
+        self.vocab = vocab
+
+    @property
+    def max_query_length(self) -> int:
+        return self.model.config.max_query_length
+
+    def ground(self, image: np.ndarray, query: str) -> GroundingPrediction:
+        """Locate the object a natural-language ``query`` refers to.
+
+        ``image`` is a ``(3, H, W)`` float array matching the model's
+        configured input size.
+        """
+        ids, mask = self.vocab.encode(query, self.max_query_length)
+        return self.model.predict(image[None], ids[None], mask[None])[0]
+
+    def ground_batch(self, samples: Sequence[GroundingSample]) -> np.ndarray:
+        """Grounder protocol: samples -> predicted boxes ``(n, 4)``."""
+        images = np.stack([s.image for s in samples])
+        ids = np.empty((len(samples), self.max_query_length), dtype=np.int64)
+        mask = np.empty((len(samples), self.max_query_length))
+        for row, sample in enumerate(samples):
+            ids[row], mask[row] = self.vocab.encode(sample.tokens, self.max_query_length)
+        predictions: List[GroundingPrediction] = self.model.predict(images, ids, mask)
+        return np.stack([p.box for p in predictions])
+
+    __call__ = ground_batch

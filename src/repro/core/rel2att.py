@@ -1,0 +1,170 @@
+"""Relation-to-Attention (Rel2Att) modules — the paper's key component.
+
+Each module (Section 3.2, Figure 2b) projects the image sequence ``V``
+and query sequence ``T`` through four two-layer FFNs, concatenates the
+projections into fused matrices ``X1``/``X2``, forms the dense relation
+map ``R = X1 X2^T / sqrt(d_rel)`` whose four blocks are the image/query
+self-attentions (R_vv, R_tt) and co-attentions (R_vt, R_tv), averages
+``R`` over each axis into two k-vectors, sums them into a joint
+attention vector, and re-weights both input sequences element-wise.
+
+Padding-aware masking excludes PAD query positions from the relation
+averages.  The ablation switches of Table 4 wipe the self- or
+co-attention blocks of ``R`` before the averages are taken.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, concatenate
+from repro.core.config import YolloConfig
+from repro.nn import FeedForward, Module, Parameter, Sequential
+
+
+def _relation_weight_mask(
+    batch: int,
+    num_regions: int,
+    num_tokens: int,
+    token_mask: Optional[np.ndarray],
+    use_self_attention: bool,
+    use_co_attention: bool,
+) -> np.ndarray:
+    """Build the ``(B, k, k)`` 0/1 weights applied to the relation map.
+
+    Combines the Table-4 ablation wiping with PAD masking: a relation
+    entry survives only if both of its endpoints are valid positions and
+    its block is enabled.
+    """
+    k = num_regions + num_tokens
+    valid = np.ones((batch, k))
+    if token_mask is not None:
+        valid[:, num_regions:] = token_mask
+    weights = valid[:, :, None] * valid[:, None, :]
+
+    block = np.ones((k, k))
+    if not use_self_attention:
+        block[:num_regions, :num_regions] = 0.0
+        block[num_regions:, num_regions:] = 0.0
+    if not use_co_attention:
+        block[:num_regions, num_regions:] = 0.0
+        block[num_regions:, :num_regions] = 0.0
+    return weights * block[None]
+
+
+class Rel2AttModule(Module):
+    """One Rel2Att block: relation map -> attention masks -> re-weighting."""
+
+    def __init__(self, config: YolloConfig):
+        super().__init__()
+        self.config = config
+        d, d_rel, hidden = config.d_model, config.d_rel, config.ffn_hidden
+        # The four FFNs of Eq. (1)-(2): theta_1..theta_4.
+        self.ffn_v1 = FeedForward(d, hidden, d_rel)
+        self.ffn_v2 = FeedForward(d, hidden, d_rel)
+        self.ffn_t1 = FeedForward(d, hidden, d_rel)
+        self.ffn_t2 = FeedForward(d, hidden, d_rel)
+        # Learnable gain on the attention vector.  The relation-map
+        # averages are O(1/k) in magnitude, so without a gain the
+        # softmax of Eq. (6) starts pathologically flat; the gain is a
+        # pure reparameterisation (the FFN output scale could learn the
+        # same factor, far more slowly).
+        self.att_gain = Parameter(np.array(config.att_gain_init))
+
+    def relation_map(self, image_seq: Tensor, query_seq: Tensor) -> Tensor:
+        """Compute the raw dense relation map ``R`` (Eq. 3)."""
+        x1 = concatenate([self.ffn_v1(image_seq), self.ffn_t1(query_seq)], axis=1)
+        x2 = concatenate([self.ffn_v2(image_seq), self.ffn_t2(query_seq)], axis=1)
+        return x1.matmul(x2.swapaxes(1, 2)) / np.sqrt(self.config.d_rel)
+
+    def forward(
+        self,
+        image_seq: Tensor,
+        query_seq: Tensor,
+        token_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
+        """Return ``(V_attended, T_attended, att_v, att_t)``.
+
+        ``att_v``/``att_t`` are the raw (pre-softmax) attention scores;
+        the attended sequences are the element-wise products of Eq. (4)-(5).
+        """
+        batch, m = image_seq.shape[0], image_seq.shape[1]
+        n = query_seq.shape[1]
+        relation = self.relation_map(image_seq, query_seq)
+
+        weights = _relation_weight_mask(
+            batch, m, n, token_mask,
+            self.config.use_self_attention, self.config.use_co_attention,
+        )
+        masked = relation * Tensor(weights)
+        if self.config.block_balanced_attention:
+            # Average each block of R separately before summing, so the
+            # co-attention blocks (n entries) carry the same weight as
+            # the much larger self-attention blocks (m entries).  With a
+            # plain mean over all k entries the query's contribution to
+            # att_v is diluted by m/n ~ 15x and grounding barely
+            # conditions on the language.
+            att_cols = (
+                masked[:, :m, :].sum(axis=1)
+                / Tensor(np.maximum(weights[:, :m, :].sum(axis=1), 1.0))
+                + masked[:, m:, :].sum(axis=1)
+                / Tensor(np.maximum(weights[:, m:, :].sum(axis=1), 1.0))
+            )
+            att_rows = (
+                masked[:, :, :m].sum(axis=2)
+                / Tensor(np.maximum(weights[:, :, :m].sum(axis=2), 1.0))
+                + masked[:, :, m:].sum(axis=2)
+                / Tensor(np.maximum(weights[:, :, m:].sum(axis=2), 1.0))
+            )
+        else:
+            # Strict Eq. (3)-(4) reading: plain masked means over each axis.
+            col_counts = np.maximum(weights.sum(axis=1), 1.0)  # (B, k)
+            row_counts = np.maximum(weights.sum(axis=2), 1.0)
+            att_cols = masked.sum(axis=1) / Tensor(col_counts)
+            att_rows = masked.sum(axis=2) / Tensor(row_counts)
+        att = (att_cols + att_rows) * self.att_gain  # (B, k)
+
+        att_v = att[:, :m]
+        att_t = att[:, m:]
+        if token_mask is not None:
+            att_t = att_t * Tensor(token_mask)
+
+        # Re-weight with tanh-bounded attention: the raw logits are kept
+        # for the mask loss, but unbounded multiplicative re-weighting
+        # compounds exponentially through the stacked modules (features
+        # scale by (1 + att) per module) and overflows float32.
+        attended_v = image_seq * att_v.tanh().expand_dims(-1)
+        attended_t = query_seq * att_t.tanh().expand_dims(-1)
+        return attended_v, attended_t, att_v, att_t
+
+
+class Rel2AttStack(Module):
+    """Stack of Rel2Att modules with shortcut connections.
+
+    Each module's attended outputs are added back to its inputs
+    (residual propagation, Section 3.2) before feeding the next module.
+    Returns the final image sequence plus the per-module raw attention
+    masks used by the attention loss and visualisations.
+    """
+
+    def __init__(self, config: YolloConfig):
+        super().__init__()
+        self.config = config
+        self.blocks = Sequential(*[Rel2AttModule(config) for _ in range(config.num_rel2att)])
+
+    def forward(
+        self,
+        image_seq: Tensor,
+        query_seq: Tensor,
+        token_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, List[Tensor]]:
+        attention_masks: List[Tensor] = []
+        v, t = image_seq, query_seq
+        for block in self.blocks:
+            attended_v, attended_t, att_v, _ = block(v, t, token_mask)
+            v = v + attended_v
+            t = t + attended_t
+            attention_masks.append(att_v)
+        return v, attention_masks

@@ -1,0 +1,117 @@
+"""The full YOLLO model: encoder -> Rel2Att stack -> detection head."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad, softmax
+from repro.core.config import YolloConfig
+from repro.core.detector import TargetDetectionNetwork
+from repro.core.encoder import FeatureEncoder
+from repro.core.rel2att import Rel2AttStack
+from repro.detection import clip_boxes, decode_offsets
+from repro.nn import Module
+
+
+@dataclass
+class YolloOutput:
+    """Raw network outputs for a batch."""
+
+    cls_logits: Tensor  # (B, A, 2)
+    reg_offsets: Tensor  # (B, A, 4)
+    attention_masks: List[Tensor]  # per-module (B, m) raw masks
+
+
+@dataclass
+class GroundingPrediction:
+    """Decoded top-1 prediction for one image/query pair."""
+
+    box: np.ndarray  # (4,) x1, y1, x2, y2
+    score: float  # target probability of the winning anchor
+    anchor_index: int
+    attention_map: np.ndarray  # (grid_h, grid_w) softmax of the last mask
+
+
+class YolloModel(Module):
+    """One-stage visual grounding (Figure 2a).
+
+    ``forward`` returns raw outputs for training; ``predict`` decodes the
+    top-1 scored anchor into an image-space box (Section 3.3: no NMS, no
+    ranking over proposals — the single best anchor is the answer).
+    """
+
+    def __init__(self, config: YolloConfig, vocab_size: int,
+                 pretrained_embeddings: Optional[np.ndarray] = None,
+                 backbone=None):
+        super().__init__()
+        self.config = config
+        self.encoder = FeatureEncoder(config, vocab_size, pretrained_embeddings, backbone)
+        self.rel2att = Rel2AttStack(config)
+        self.detector = TargetDetectionNetwork(
+            config,
+            grid_h=self.encoder.grid_h,
+            grid_w=self.encoder.grid_w,
+            stride=self.encoder.backbone.stride,
+        )
+
+    @property
+    def anchor_grid(self):
+        return self.detector.anchor_grid
+
+    def forward(self, images: Tensor, token_ids: np.ndarray,
+                token_mask: Optional[np.ndarray] = None) -> YolloOutput:
+        image_seq, query_seq = self.encoder(images, token_ids)
+        attended, attention_masks = self.rel2att(image_seq, query_seq, token_mask)
+        # Reconstruct the attended feature map M~ (B, d, gh, gw).
+        batch = attended.shape[0]
+        feature_map = attended.transpose(0, 2, 1).reshape(
+            batch, self.config.d_model, self.encoder.grid_h, self.encoder.grid_w
+        )
+        cls_logits, reg_offsets = self.detector(feature_map)
+        return YolloOutput(cls_logits, reg_offsets, attention_masks)
+
+    def predict(self, images: np.ndarray, token_ids: np.ndarray,
+                token_mask: Optional[np.ndarray] = None) -> List[GroundingPrediction]:
+        """Run inference and decode the top-1 box per sample.
+
+        Cross-boundary anchors are excluded from the top-1 choice
+        (standard RPN practice): an anchor hanging off the image decodes
+        to a clipped sliver, and its classification score is weakly
+        supervised, so letting it win produces degenerate boxes.
+        """
+        self.eval()
+        with no_grad():
+            output = self.forward(Tensor(images), token_ids, token_mask)
+            probs = softmax(output.cls_logits, axis=-1).data[..., 1]  # (B, A)
+            offsets = output.reg_offsets.data
+            last_mask = softmax(output.attention_masks[-1], axis=-1).data
+        self.train()
+
+        anchors = self.anchor_grid.all_anchors()
+        margin = 0.25 * self.anchor_grid.stride
+        inside = (
+            (anchors[:, 0] >= -margin)
+            & (anchors[:, 1] >= -margin)
+            & (anchors[:, 2] <= self.config.image_width + margin)
+            & (anchors[:, 3] <= self.config.image_height + margin)
+        )
+        if inside.any():
+            probs = np.where(inside[None, :], probs, -1.0)
+        grid_h, grid_w = self.encoder.grid_h, self.encoder.grid_w
+        predictions: List[GroundingPrediction] = []
+        for b in range(probs.shape[0]):
+            best = int(probs[b].argmax())
+            box = decode_offsets(anchors[best], offsets[b, best])
+            box = clip_boxes(box, self.config.image_height, self.config.image_width)
+            predictions.append(
+                GroundingPrediction(
+                    box=box,
+                    score=float(probs[b, best]),
+                    anchor_index=best,
+                    attention_map=last_mask[b].reshape(grid_h, grid_w),
+                )
+            )
+        return predictions

@@ -1,0 +1,74 @@
+"""Training-time data augmentation for grounding samples.
+
+Horizontal flipping — the standard detection augmentation — is
+non-trivial for visual grounding: mirroring the image inverts the
+spatial language, so "left" / "right" (and "left of" / "right of"
+relational phrases) must be swapped in the query.  Colour jitter
+perturbs the rendering without touching language.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.refcoco import GroundingSample
+from repro.utils.seeding import spawn_rng
+
+#: Token-level swaps applied when an image is mirrored.
+_FLIP_SWAPS = {"left": "right", "right": "left"}
+
+
+def flip_tokens(tokens: List[str]) -> List[str]:
+    """Swap spatial words for a horizontally mirrored image."""
+    return [_FLIP_SWAPS.get(token, token) for token in tokens]
+
+
+def hflip_sample(sample: GroundingSample) -> GroundingSample:
+    """Return a horizontally mirrored copy with consistent language."""
+    width = sample.image.shape[2]
+    image = sample.image[:, :, ::-1].copy()
+    box = sample.target_box.copy()
+    box[0], box[2] = width - sample.target_box[2], width - sample.target_box[0]
+    tokens = flip_tokens(sample.tokens)
+    return GroundingSample(
+        image=image,
+        query=" ".join(tokens),
+        tokens=tokens,
+        target_box=box,
+        target_index=sample.target_index,
+        scene=sample.scene,
+        split=sample.split,
+    )
+
+
+def color_jitter(sample: GroundingSample, strength: float = 0.05,
+                 rng: Optional[np.random.Generator] = None) -> GroundingSample:
+    """Perturb brightness/contrast per channel; language untouched."""
+    rng = rng if rng is not None else spawn_rng("color-jitter")
+    gain = 1.0 + rng.uniform(-strength, strength, size=(3, 1, 1))
+    bias = rng.uniform(-strength, strength, size=(3, 1, 1))
+    image = np.clip(sample.image * gain + bias, 0.0, 1.0)
+    return GroundingSample(
+        image=image,
+        query=sample.query,
+        tokens=list(sample.tokens),
+        target_box=sample.target_box.copy(),
+        target_index=sample.target_index,
+        scene=sample.scene,
+        split=sample.split,
+    )
+
+
+def augment_samples(samples: List[GroundingSample], flip_probability: float = 0.5,
+                    jitter_strength: float = 0.05,
+                    rng: Optional[np.random.Generator] = None) -> List[GroundingSample]:
+    """Apply stochastic flip + jitter to a sample list (fresh copies)."""
+    rng = rng if rng is not None else spawn_rng("augment")
+    out: List[GroundingSample] = []
+    for sample in samples:
+        if rng.random() < flip_probability:
+            sample = hflip_sample(sample)
+        out.append(color_jitter(sample, strength=jitter_strength, rng=rng))
+    return out

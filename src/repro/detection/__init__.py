@@ -1,0 +1,37 @@
+"""Detection toolbox: boxes, anchors, matching, sampling, NMS.
+
+These utilities implement the RPN-style machinery of Section 3.3 of the
+paper (anchor grids, IoU-based positive/negative labelling with
+``rho_high``/``rho_low``, minibatch sampling of N anchors, bounding-box
+offset encoding and decoding, and non-maximum suppression for the
+two-stage proposal baseline).
+"""
+
+from repro.detection.boxes import (
+    box_area,
+    boxes_to_cxcywh,
+    clip_boxes,
+    cxcywh_to_boxes,
+    decode_offsets,
+    encode_offsets,
+    iou_matrix,
+)
+from repro.detection.anchors import AnchorGrid
+from repro.detection.matcher import AnchorMatcher, MatchResult
+from repro.detection.sampler import BalancedSampler
+from repro.detection.nms import nms
+
+__all__ = [
+    "box_area",
+    "iou_matrix",
+    "clip_boxes",
+    "boxes_to_cxcywh",
+    "cxcywh_to_boxes",
+    "encode_offsets",
+    "decode_offsets",
+    "AnchorGrid",
+    "AnchorMatcher",
+    "MatchResult",
+    "BalancedSampler",
+    "nms",
+]

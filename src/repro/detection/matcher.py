@@ -1,0 +1,67 @@
+"""IoU-based anchor labelling with the paper's rho_high / rho_low rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.boxes import encode_offsets, iou_matrix
+
+
+@dataclass
+class MatchResult:
+    """Per-anchor supervision produced by :class:`AnchorMatcher`.
+
+    Attributes
+    ----------
+    labels:
+        ``1`` positive, ``0`` negative, ``-1`` ignored (between thresholds).
+    offsets:
+        Regression targets toward the ground-truth box, per anchor.
+    ious:
+        IoU of every anchor with the ground-truth box.
+    """
+
+    labels: np.ndarray
+    offsets: np.ndarray
+    ious: np.ndarray
+
+    @property
+    def positive_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.labels == 1)
+
+    @property
+    def negative_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.labels == 0)
+
+
+class AnchorMatcher:
+    """Label anchors against the single target box of a grounding sample.
+
+    Anchors with IoU >= ``rho_high`` become positives; anchors with
+    IoU < ``rho_low`` become negatives; the band in between is ignored.
+    If no anchor clears ``rho_high``, the best-IoU anchor is forced
+    positive so every sample has at least one positive (standard RPN
+    practice, required because the target is a single box).
+    """
+
+    def __init__(self, rho_high: float = 0.5, rho_low: float = 0.25,
+                 force_match: bool = True):
+        if not 0.0 <= rho_low <= rho_high <= 1.0:
+            raise ValueError(f"invalid thresholds: rho_low={rho_low}, rho_high={rho_high}")
+        self.rho_high = rho_high
+        self.rho_low = rho_low
+        self.force_match = force_match
+
+    def match(self, anchors: np.ndarray, target_box: np.ndarray) -> MatchResult:
+        """Produce labels and regression targets for one ground-truth box."""
+        target = np.asarray(target_box, dtype=np.float64).reshape(1, 4)
+        ious = iou_matrix(anchors, target)[:, 0]
+        labels = np.full(len(anchors), -1, dtype=np.int64)
+        labels[ious < self.rho_low] = 0
+        labels[ious >= self.rho_high] = 1
+        if self.force_match and not (labels == 1).any():
+            labels[int(ious.argmax())] = 1
+        offsets = encode_offsets(anchors, np.broadcast_to(target, anchors.shape))
+        return MatchResult(labels=labels, offsets=offsets, ious=ious)

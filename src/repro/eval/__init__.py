@@ -1,0 +1,24 @@
+"""Evaluation: grounding metrics, wall-clock timing, curves, reporting."""
+
+from repro.eval.metrics import (
+    MetricReport,
+    accuracy_at_iou,
+    accuracy_sweep,
+    evaluate_grounder,
+    mean_iou,
+)
+from repro.eval.timing import TimingReport, time_grounder
+from repro.eval.curves import TrainingCurve
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "accuracy_at_iou",
+    "accuracy_sweep",
+    "mean_iou",
+    "evaluate_grounder",
+    "MetricReport",
+    "time_grounder",
+    "TimingReport",
+    "TrainingCurve",
+    "format_table",
+]

@@ -1,0 +1,56 @@
+"""Training-curve recording (Figure 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class TrainingCurve:
+    """Accuracy-versus-iteration series recorded during training."""
+
+    label: str
+    iterations: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, iteration: int, value: float) -> None:
+        self.iterations.append(int(iteration))
+        self.values.append(float(value))
+
+    def final(self) -> float:
+        """Last recorded value (0.0 when nothing was recorded)."""
+        return self.values[-1] if self.values else 0.0
+
+    def best(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def convergence_iteration(self, fraction: float = 0.95) -> int:
+        """First iteration reaching ``fraction`` of the best value.
+
+        Quantifies the paper's "converges within 5000 iterations" claim.
+        """
+        if not self.values:
+            return 0
+        target = self.best() * fraction
+        for iteration, value in zip(self.iterations, self.values):
+            if value >= target:
+                return iteration
+        return self.iterations[-1]
+
+    def as_series(self) -> List[Tuple[int, float]]:
+        return list(zip(self.iterations, self.values))
+
+    def render_ascii(self, width: int = 60, height: int = 12) -> str:
+        """Plot the curve as ASCII art for terminal reports."""
+        if not self.values:
+            return f"{self.label}: (empty)"
+        vmax = max(self.values) or 1.0
+        rows = [[" "] * width for _ in range(height)]
+        for i, value in enumerate(self.values):
+            col = int(i / max(1, len(self.values) - 1) * (width - 1))
+            row = height - 1 - int(value / vmax * (height - 1))
+            rows[row][col] = "*"
+        lines = ["".join(r) for r in rows]
+        header = f"{self.label} (max={vmax:.3f}, final={self.final():.3f})"
+        return "\n".join([header] + lines)

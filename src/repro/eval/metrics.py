@@ -1,0 +1,88 @@
+"""Grounding metrics: ACC@eta, the ACC sweep, and mean IoU (Section 4.3).
+
+``evaluate_grounder`` works with anything exposing the grounder protocol:
+a callable mapping a list of :class:`GroundingSample` to predicted boxes
+``(n, 4)``.  Both YOLLO (via its batch predictor) and the two-stage
+baselines implement it, so every table uses one evaluation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.refcoco import GroundingSample
+from repro.detection import iou_matrix
+
+#: The IoU thresholds of the COCO-style ACC metric (0.5:0.05:0.95).
+SWEEP_THRESHOLDS = tuple(np.arange(0.5, 0.96, 0.05).round(2))
+
+GrounderFn = Callable[[Sequence[GroundingSample]], np.ndarray]
+
+
+def pairwise_ious(predicted: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """IoU of each predicted box with its own target: ``(n,)``."""
+    predicted = np.asarray(predicted, dtype=np.float64).reshape(-1, 4)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1, 4)
+    if predicted.shape != targets.shape:
+        raise ValueError("predicted and target boxes must align one-to-one")
+    return np.array(
+        [iou_matrix(p[None], t[None])[0, 0] for p, t in zip(predicted, targets)]
+    )
+
+
+def accuracy_at_iou(ious: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of predictions with IoU above ``threshold`` (ACC@eta)."""
+    ious = np.asarray(ious)
+    return float((ious > threshold).mean()) if len(ious) else 0.0
+
+
+def accuracy_sweep(ious: np.ndarray) -> float:
+    """COCO-style averaged accuracy over thresholds 0.5:0.05:0.95."""
+    return float(np.mean([accuracy_at_iou(ious, t) for t in SWEEP_THRESHOLDS]))
+
+
+def mean_iou(ious: np.ndarray) -> float:
+    """MIoU: the plain average IoU over the dataset."""
+    ious = np.asarray(ious)
+    return float(ious.mean()) if len(ious) else 0.0
+
+
+@dataclass
+class MetricReport:
+    """All Table-3 metrics for one evaluation run."""
+
+    acc: float
+    acc_at_50: float
+    acc_at_75: float
+    miou: float
+    ious: np.ndarray = field(repr=False, default=None)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "ACC": self.acc,
+            "ACC@0.5": self.acc_at_50,
+            "ACC@0.75": self.acc_at_75,
+            "MIOU": self.miou,
+        }
+
+
+def evaluate_grounder(grounder: GrounderFn, samples: Sequence[GroundingSample],
+                      batch_size: int = 32) -> MetricReport:
+    """Run a grounder over samples and compute every metric."""
+    predictions: List[np.ndarray] = []
+    for start in range(0, len(samples), batch_size):
+        chunk = list(samples[start : start + batch_size])
+        predictions.append(np.asarray(grounder(chunk)).reshape(len(chunk), 4))
+    predicted = np.concatenate(predictions) if predictions else np.empty((0, 4))
+    targets = np.stack([s.target_box for s in samples]) if samples else np.empty((0, 4))
+    ious = pairwise_ious(predicted, targets)
+    return MetricReport(
+        acc=accuracy_sweep(ious),
+        acc_at_50=accuracy_at_iou(ious, 0.5),
+        acc_at_75=accuracy_at_iou(ious, 0.75),
+        miou=mean_iou(ious),
+        ious=ious,
+    )

@@ -1,0 +1,32 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width table; floats are formatted to 2 decimals."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+``ExperimentContext`` owns datasets, trained models and caching; each
+``tableN``/``figureN`` module exposes ``run(context)`` returning the
+formatted rows the paper reports.  The active preset (SMOKE / BENCH /
+FULL) is selected with the ``REPRO_PRESET`` environment variable.
+"""
+
+from repro.experiments.config import ExperimentPreset, PRESETS, get_preset
+from repro.experiments.context import ExperimentContext
+from repro.experiments import table1, table2, table3, table4, table5
+from repro.experiments import figure4, figure5
+
+__all__ = [
+    "ExperimentPreset",
+    "PRESETS",
+    "get_preset",
+    "ExperimentContext",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+]

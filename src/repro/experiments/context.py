@@ -1,0 +1,269 @@
+"""Shared experiment state: datasets, trained models, disk caching.
+
+Training a grounding model is the expensive step, and several tables
+need the same trained models, so the context trains each (model,
+dataset) pair exactly once and persists weights plus training curves
+under the cache directory.  Evaluation reports are cached as JSON keyed
+by (model, dataset, split), making a re-run of the full benchmark suite
+nearly free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import set_default_dtype
+from repro.backbone import load_pretrained_backbone
+from repro.backbone.pretrain import default_cache_dir
+from repro.core import Grounder, YolloConfig, YolloModel, YolloTrainer
+from repro.data import (
+    GroundingDataset,
+    REFCOCO,
+    REFCOCO_PLUS,
+    REFCOCOG,
+    build_dataset,
+)
+from repro.eval import MetricReport, TrainingCurve, evaluate_grounder
+from repro.experiments.config import ExperimentPreset, get_preset
+from repro.text import SkipGramWord2Vec, Vocabulary, build_corpus
+from repro.twostage import (
+    ListenerMatcher,
+    SegmentationProposer,
+    SpeakerScorer,
+    TwoStageGrounder,
+    train_listener,
+    train_speaker,
+)
+from repro.utils.logging import ProgressLogger
+from repro.utils.seeding import seed_everything, spawn_rng
+
+DATASET_SPECS = {
+    "RefCOCO": REFCOCO,
+    "RefCOCO+": REFCOCO_PLUS,
+    "RefCOCOg": REFCOCOG,
+}
+
+DATASET_NAMES = tuple(DATASET_SPECS)
+
+
+class ExperimentContext:
+    """Lazily builds and caches everything the tables need."""
+
+    def __init__(self, preset: Optional[ExperimentPreset] = None,
+                 cache_dir: Optional[str] = None, seed: int = 7,
+                 verbose: bool = True):
+        self.preset = preset or get_preset()
+        self.seed = seed
+        self.logger = ProgressLogger("experiments", enabled=verbose)
+        root = cache_dir or default_cache_dir()
+        self.cache_dir = os.path.join(root, "experiments", self.preset.name)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        if self.preset.use_float32:
+            set_default_dtype(np.float32)
+        seed_everything(seed)
+
+        self._datasets: Dict[str, GroundingDataset] = {}
+        self._shared_vocab: Optional[Vocabulary] = None
+        self._word2vec: Optional[np.ndarray] = None
+        self._yollo: Dict[str, Tuple[YolloModel, Grounder, TrainingCurve]] = {}
+        self._baselines: Dict[Tuple[str, str], TwoStageGrounder] = {}
+
+    # ------------------------------------------------------------------
+    # Datasets and vocabulary
+    # ------------------------------------------------------------------
+    def _scaled_spec(self, name: str):
+        spec = DATASET_SPECS[name]
+        splits = {
+            split: (self.preset.train_scenes if split == "train" else self.preset.eval_scenes)
+            for split in spec.scenes_per_split
+        }
+        return replace(spec, scenes_per_split=splits)
+
+    def dataset(self, name: str) -> GroundingDataset:
+        """Build (once) the named dataset with the shared vocabulary."""
+        if name not in self._datasets:
+            self.logger.log(f"building dataset {name}")
+            self._datasets[name] = build_dataset(self._scaled_spec(name))
+        if self._shared_vocab is not None:
+            self._datasets[name].vocab = self._shared_vocab
+        return self._datasets[name]
+
+    def shared_vocab(self) -> Vocabulary:
+        """Union vocabulary over all datasets (cross-dataset evaluation)."""
+        if self._shared_vocab is None:
+            for name in DATASET_NAMES:
+                self.dataset(name)
+            self._shared_vocab = Vocabulary.from_corpus(
+                sample.tokens
+                for ds in self._datasets.values()
+                for sample in ds.all_samples()
+            )
+            for ds in self._datasets.values():
+                ds.vocab = self._shared_vocab
+        return self._shared_vocab
+
+    def max_query_length(self) -> int:
+        """Padding length covering every dataset."""
+        self.shared_vocab()
+        return max(8, max(ds.max_query_length for ds in self._datasets.values()))
+
+    def word2vec_matrix(self) -> np.ndarray:
+        """Skip-gram embeddings over the shared vocabulary (cached)."""
+        if self._word2vec is None:
+            vocab = self.shared_vocab()
+            path = os.path.join(self.cache_dir, "word2vec.npz")
+            if os.path.exists(path):
+                with np.load(path) as archive:
+                    matrix = archive["embeddings"]
+                if matrix.shape[0] == len(vocab):
+                    self._word2vec = matrix
+                    return self._word2vec
+            self.logger.log("pre-training word2vec embeddings")
+            corpus = build_corpus(400, rng=spawn_rng("experiments-corpus"))
+            model = SkipGramWord2Vec(vocab, dim=24)
+            model.train(corpus, epochs=2)
+            self._word2vec = model.embedding_matrix()
+            np.savez(path, embeddings=self._word2vec)
+        return self._word2vec
+
+    # ------------------------------------------------------------------
+    # YOLLO models
+    # ------------------------------------------------------------------
+    def yollo_config(self, **overrides) -> YolloConfig:
+        base = YolloConfig(max_query_length=self.max_query_length())
+        return base.with_overrides(**overrides) if overrides else base
+
+    def yollo(self, dataset_name: str, tag: str = "main",
+              epochs: Optional[int] = None,
+              **config_overrides) -> Tuple[YolloModel, Grounder, TrainingCurve]:
+        """Train (or load) a YOLLO model on the named dataset."""
+        key = f"{dataset_name}-{tag}"
+        if key in self._yollo:
+            return self._yollo[key]
+
+        dataset = self.dataset(dataset_name)
+        config = self.yollo_config(**config_overrides)
+        epochs = epochs if epochs is not None else self.preset.yollo_epochs
+        # epochs == 0 means the caller only needs the architecture (e.g.
+        # the Table-5 timing rows) — skip the ImageNet-substitute step.
+        pretrain_steps = self.preset.pretrain_steps if epochs > 0 else 1
+        backbone = load_pretrained_backbone(
+            config.backbone, steps=pretrain_steps,
+            image_height=config.image_height, image_width=config.image_width,
+        )
+        model = YolloModel(
+            config, vocab_size=len(dataset.vocab),
+            pretrained_embeddings=self.word2vec_matrix(), backbone=backbone,
+        )
+        grounder = Grounder(model, dataset.vocab)
+
+        weights_path = os.path.join(self.cache_dir, f"yollo-{key}.npz")
+        curve_path = os.path.join(self.cache_dir, f"yollo-{key}-curve.json")
+        curve = TrainingCurve(label=dataset_name)
+        if os.path.exists(weights_path) and os.path.exists(curve_path):
+            model.load(weights_path)
+            with open(curve_path) as handle:
+                payload = json.load(handle)
+            curve.iterations = payload["iterations"]
+            curve.values = payload["values"]
+        else:
+            self.logger.log(f"training YOLLO[{tag}] on {dataset_name} ({epochs} epochs)")
+            trainer = YolloTrainer(model, dataset, config, logger=self.logger)
+            history = trainer.train(epochs=epochs, eval_every=self.preset.eval_every,
+                                    eval_samples=self.preset.eval_limit)
+            curve = history.curve
+            curve.label = dataset_name
+            model.save(weights_path)
+            with open(curve_path, "w") as handle:
+                json.dump({"iterations": curve.iterations, "values": curve.values}, handle)
+
+        self._yollo[key] = (model, grounder, curve)
+        return self._yollo[key]
+
+    # ------------------------------------------------------------------
+    # Two-stage baselines
+    # ------------------------------------------------------------------
+    def proposer(self) -> SegmentationProposer:
+        return SegmentationProposer(rng=spawn_rng("experiments-proposer"))
+
+    def baseline(self, kind: str, dataset_name: str) -> TwoStageGrounder:
+        """Train (or load) a two-stage baseline: listener / speaker / both."""
+        if kind not in ("listener", "speaker", "speaker+listener"):
+            raise ValueError(f"unknown baseline kind: {kind}")
+        cache_key = (kind, dataset_name)
+        if cache_key in self._baselines:
+            return self._baselines[cache_key]
+
+        dataset = self.dataset(dataset_name)
+        vocab = self.shared_vocab()
+        max_len = self.max_query_length()
+        proposer = self.proposer()
+        matchers = {}
+        if "listener" in kind:
+            matchers["listener"] = self._trained_matcher(
+                "listener", dataset_name,
+                lambda: ListenerMatcher(vocab, max_query_length=max_len),
+                lambda m: train_listener(
+                    m, dataset["train"], proposer, steps=self.preset.baseline_steps,
+                    logger=self.logger,
+                ),
+            )
+        if "speaker" in kind:
+            matchers["speaker"] = self._trained_matcher(
+                "speaker", dataset_name,
+                lambda: SpeakerScorer(vocab, max_query_length=max_len),
+                lambda m: train_speaker(
+                    m, dataset["train"], steps=self.preset.baseline_steps,
+                    mmi_margin=0.1, logger=self.logger,
+                ),
+            )
+        grounder = TwoStageGrounder(proposer, matchers)
+        self._baselines[cache_key] = grounder
+        return grounder
+
+    def _trained_matcher(self, name: str, dataset_name: str, build, train):
+        path = os.path.join(self.cache_dir, f"{name}-{dataset_name}.npz")
+        matcher = build()
+        if os.path.exists(path):
+            matcher.load(path)
+        else:
+            self.logger.log(f"training {name} baseline on {dataset_name}")
+            train(matcher)
+            matcher.save(path)
+        return matcher
+
+    # ------------------------------------------------------------------
+    # Evaluation (JSON-cached)
+    # ------------------------------------------------------------------
+    def evaluate(self, grounder, model_key: str, dataset_name: str,
+                 split: str) -> MetricReport:
+        """Evaluate a grounder on one split, caching the report."""
+        path = os.path.join(
+            self.cache_dir, f"eval-{model_key}-{dataset_name}-{split}.json"
+        )
+        if os.path.exists(path):
+            with open(path) as handle:
+                payload = json.load(handle)
+            return MetricReport(
+                acc=payload["ACC"], acc_at_50=payload["ACC@0.5"],
+                acc_at_75=payload["ACC@0.75"], miou=payload["MIOU"],
+                ious=np.asarray(payload["ious"]),
+            )
+        dataset = self.dataset(dataset_name)
+        samples = dataset[split][: self.preset.eval_limit]
+        report = evaluate_grounder(grounder, samples)
+        payload = report.as_dict()
+        payload["ious"] = [float(v) for v in report.ious]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return report
+
+    def eval_splits(self, dataset_name: str) -> List[str]:
+        """Evaluation splits for a dataset (RefCOCOg has only val)."""
+        return [s for s in ("val", "testA", "testB")
+                if s in self.dataset(dataset_name).splits]

@@ -1,0 +1,55 @@
+"""Figure 5 — qualitative attention masks and predicted boxes.
+
+Runs the trained RefCOCO model on validation scenes, including
+contrastive query pairs over the same image (the paper's "left most
+toilet" vs "right urinal" effect), rendering the last Rel2Att attention
+mask plus the predicted and ground-truth boxes as ASCII panels and
+optional PPM images.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.experiments.context import ExperimentContext
+from repro.viz import draw_box, overlay_attention, render_attention_ascii, save_ppm
+
+DATASET = "RefCOCO"
+
+
+def run(context: ExperimentContext, num_panels: int = 4,
+        ppm_dir: Optional[str] = None) -> str:
+    """Render qualitative panels; optionally write PPM figures."""
+    _, grounder, _ = context.yollo(DATASET)
+    dataset = context.dataset(DATASET)
+    model = grounder.model
+    stride = model.encoder.backbone.stride
+
+    # Prefer pairs of queries over the same scene (contrastive panels).
+    by_scene = {}
+    for sample in dataset["val"]:
+        by_scene.setdefault(id(sample.scene), []).append(sample)
+    paired = [group for group in by_scene.values() if len(group) >= 2]
+    flat: List = [s for group in paired for s in group[:2]]
+    chosen = (flat + dataset["val"])[:num_panels]
+
+    if ppm_dir:
+        os.makedirs(ppm_dir, exist_ok=True)
+
+    parts: List[str] = ["Figure 5: qualitative results (attention + top-1 box)"]
+    for index, sample in enumerate(chosen):
+        prediction = grounder.ground(sample.image, sample.query)
+        parts.append("")
+        parts.append(f'query: "{sample.query}"  (score={prediction.score:.2f})')
+        parts.append(
+            render_attention_ascii(
+                prediction.attention_map, box=prediction.box, stride=stride
+            )
+        )
+        if ppm_dir:
+            figure = overlay_attention(sample.image, prediction.attention_map)
+            figure = draw_box(figure, prediction.box, color=(1.0, 0.0, 0.0))
+            figure = draw_box(figure, sample.target_box, color=(0.0, 1.0, 0.0))
+            save_ppm(os.path.join(ppm_dir, f"figure5-{index}.ppm"), figure)
+    return "\n".join(parts)

@@ -1,0 +1,56 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Embedding,
+    FeedForward,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.norm import BatchNorm2d, GroupNorm2d, LayerNorm
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.rnn import GRUCell, LSTM, LSTMCell
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    margin_ranking_loss,
+    smooth_l1,
+    softmax_cross_entropy,
+)
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "Embedding",
+    "Dropout",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Sequential",
+    "FeedForward",
+    "BatchNorm2d",
+    "GroupNorm2d",
+    "LayerNorm",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "LSTM",
+    "LSTMCell",
+    "GRUCell",
+    "softmax_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "smooth_l1",
+    "margin_ranking_loss",
+    "init",
+]

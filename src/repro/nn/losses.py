@@ -1,0 +1,72 @@
+"""Loss functions shared across YOLLO and the baseline models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, as_tensor, log_softmax, where
+
+
+def softmax_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    ``logits`` has shape ``(..., classes)``; ``targets`` has the leading
+    shape.  ``weights`` (same shape as targets) re-weights samples, e.g.
+    to ignore padded time-steps in the speaker decoder.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, logits.shape[-1])
+    rows = np.arange(flat.shape[0])
+    picked = flat[rows, targets.reshape(-1)]
+    if weights is None:
+        return -picked.mean()
+    flat_weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    total = max(float(flat_weights.sum()), 1e-12)
+    return -(picked * Tensor(flat_weights)).sum() / total
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Numerically stable elementwise BCE over raw logits."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t is the stable formulation.
+    abs_neg = -logits.abs()
+    softplus = (abs_neg.exp() + 1.0).log()
+    per_element = logits.maximum(0.0) - logits * targets_t + softplus
+    if weights is None:
+        return per_element.mean()
+    weight_t = Tensor(np.asarray(weights, dtype=np.float64))
+    total = max(float(weight_t.data.sum()), 1e-12)
+    return (per_element * weight_t).sum() / total
+
+
+def smooth_l1(
+    predictions: Tensor,
+    targets: np.ndarray,
+    beta: float = 1.0,
+) -> Tensor:
+    """Elementwise smooth-L1 (Huber) as in Fast R-CNN Eq. (3); returns per-element losses."""
+    diff = predictions - as_tensor(np.asarray(targets, dtype=np.float64))
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear = abs_diff - 0.5 * beta
+    return where(abs_diff.data < beta, quadratic, linear)
+
+
+def margin_ranking_loss(positive: Tensor, negative: Tensor, margin: float = 0.1) -> Tensor:
+    """Hinge loss pushing ``positive`` scores above ``negative`` by ``margin``.
+
+    Used by the listener baseline (and the MMI variant of the speaker) to
+    contrast the target proposal against distractor proposals.
+    """
+    return (negative - positive + margin).maximum(0.0).mean()

@@ -1,0 +1,119 @@
+"""Module system: parameters, hierarchical containers, state persistence."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.tensor import get_default_dtype
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable weight of a :class:`Module`."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(np.asarray(data, dtype=get_default_dtype()), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Child modules and parameters assigned as attributes are registered
+    automatically, supporting recursive parameter collection, train/eval
+    mode propagation, and ``state_dict`` persistence (numpy ``.npz``).
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout / batch norm)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot all parameters (copies) keyed by dotted names."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values; raises on missing or mis-shaped entries."""
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={missing}, unexpected={unexpected}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=get_default_dtype())
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    def save(self, path: str) -> None:
+        """Serialise the parameters to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load parameters previously written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({key: archive[key] for key in archive.files})
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

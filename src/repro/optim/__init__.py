@@ -1,0 +1,14 @@
+"""Gradient-descent optimisers and learning-rate schedules."""
+
+from repro.optim.optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from repro.optim.schedulers import ConstantLR, StepLR, WarmupCosineLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "ConstantLR",
+    "StepLR",
+    "WarmupCosineLR",
+]

@@ -1,0 +1,40 @@
+"""Synthetic pre-training corpus (the stand-in for LM-1B).
+
+Word2Vec in the paper is pre-trained on the One-Billion-Word corpus; we
+pre-train on referring expressions sampled from the same grammar the
+datasets use, which provides in-domain co-occurrence statistics (colour
+and size modifiers next to category nouns, location idioms, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.text.tokenizer import tokenize
+from repro.utils.seeding import spawn_rng
+
+
+def build_corpus(num_sentences: int = 600,
+                 rng: Optional[np.random.Generator] = None) -> List[List[str]]:
+    """Sample tokenised referring expressions across all three flavours."""
+    # Imported lazily: repro.data imports repro.text at package level.
+    from repro.data.expressions import ExpressionGenerator
+    from repro.data.scenes import SceneGenerator
+
+    rng = rng if rng is not None else spawn_rng("corpus")
+    sentences: List[List[str]] = []
+    flavors = ("refcoco", "refcoco+", "refcocog")
+    generators = {
+        flavor: ExpressionGenerator(flavor, rng=rng) for flavor in flavors
+    }
+    scene_gen = SceneGenerator(rng=rng, distinct_colors=True)
+    while len(sentences) < num_sentences:
+        scene = scene_gen.generate(rng=rng)
+        flavor = flavors[int(rng.integers(0, len(flavors)))]
+        target = scene.objects[int(rng.integers(0, len(scene.objects)))]
+        query = generators[flavor].generate(scene, target, rng=rng)
+        if query is not None:
+            sentences.append(tokenize(query))
+    return sentences

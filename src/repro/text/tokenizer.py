@@ -1,0 +1,18 @@
+"""Whitespace/punctuation tokenisation for referring expressions."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-case and split a query into alphanumeric tokens.
+
+    Punctuation is discarded; referring expressions in the benchmark
+    datasets are short noun phrases so this simple scheme is lossless
+    for our grammar and robust for free-form user queries.
+    """
+    return _TOKEN_PATTERN.findall(text.lower())

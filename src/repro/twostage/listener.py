@@ -1,0 +1,119 @@
+"""Listener baseline: joint-embedding matching (Yu et al., 2017).
+
+The listener embeds the query with an LSTM and each proposal with a
+:class:`RegionEncoder`, and scores proposals by dot product with the
+query embedding.  Training uses a margin ranking loss that pushes the
+best-IoU proposal above the distractor proposals of the same image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.data.refcoco import GroundingSample
+from repro.detection import iou_matrix
+from repro.nn import Embedding, Linear, LSTM, Module, margin_ranking_loss
+from repro.optim import Adam
+from repro.text.vocab import Vocabulary
+from repro.twostage.proposals import ProposalSet
+from repro.twostage.regions import RegionEncoder
+from repro.utils.logging import ProgressLogger
+from repro.utils.seeding import spawn_rng
+
+
+class ListenerMatcher(Module):
+    """Score (query, proposal) pairs by joint-embedding similarity."""
+
+    def __init__(self, vocab: Vocabulary, embed_dim: int = 32,
+                 word_dim: int = 24, max_query_length: int = 20):
+        super().__init__()
+        self.vocab = vocab
+        self.max_query_length = max_query_length
+        self.word_embedding = Embedding(len(vocab), word_dim, padding_idx=vocab.pad_id)
+        self.query_lstm = LSTM(word_dim, embed_dim)
+        self.query_proj = Linear(embed_dim, embed_dim)
+        self.region_encoder = RegionEncoder(embed_dim=embed_dim)
+
+    def encode_query(self, token_ids: np.ndarray, token_mask: np.ndarray) -> Tensor:
+        """Token ids ``(B, L)`` -> query embeddings ``(B, d)``."""
+        embedded = self.word_embedding(token_ids)
+        _, (hidden, _) = self.query_lstm(embedded, mask=token_mask)
+        return self.query_proj(hidden.tanh())
+
+    def score_proposals(self, image: np.ndarray, boxes: np.ndarray,
+                        token_ids: np.ndarray, token_mask: np.ndarray) -> Tensor:
+        """Scores ``(P,)`` for one image's proposals against one query."""
+        region_embed = self.region_encoder(image, boxes)  # (P, d)
+        query_embed = self.encode_query(token_ids[None], token_mask[None])  # (1, d)
+        return region_embed.matmul(query_embed.reshape(-1))
+
+    def forward(self, image: np.ndarray, proposals: ProposalSet,
+                token_ids: np.ndarray, token_mask: np.ndarray) -> np.ndarray:
+        """Inference scores (plain array) for a proposal set."""
+        self.eval()
+        with no_grad():
+            scores = self.score_proposals(image, proposals.boxes, token_ids, token_mask)
+        self.train()
+        return scores.data.copy()
+
+
+def train_listener(
+    listener: ListenerMatcher,
+    samples: Sequence[GroundingSample],
+    proposer,
+    steps: int = 400,
+    lr: float = 2e-3,
+    margin: float = 0.2,
+    negatives_per_step: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    logger: Optional[ProgressLogger] = None,
+) -> List[float]:
+    """Train the listener over stage-i proposals with a ranking loss.
+
+    For each sample the proposal with the best IoU against the target is
+    the positive; up to ``negatives_per_step`` distractor proposals are
+    sampled as negatives (scoring all ~100 proposals per step would be
+    needlessly slow — inference still scores all of them).  Samples
+    whose proposals all miss the target (IoU < 0.3) are skipped — the
+    standard two-stage training-time consequence of stage-i misses.
+    """
+    rng = rng if rng is not None else spawn_rng("listener-train")
+    logger = logger or ProgressLogger("listener", enabled=False)
+    optimizer = Adam(listener.parameters(), lr=lr)
+    proposal_cache = {}
+    losses: List[float] = []
+
+    for step in range(steps):
+        sample = samples[int(rng.integers(0, len(samples)))]
+        key = id(sample.scene)
+        if key not in proposal_cache:
+            proposal_cache[key] = proposer.propose(sample.image)
+        proposals = proposal_cache[key]
+        ious = iou_matrix(proposals.boxes, sample.target_box[None])[:, 0]
+        positive = int(ious.argmax())
+        if ious[positive] < 0.3 or len(proposals) < 2:
+            continue
+
+        negatives = np.flatnonzero(ious < 0.3)
+        if not len(negatives):
+            continue
+        if len(negatives) > negatives_per_step:
+            negatives = rng.choice(negatives, size=negatives_per_step, replace=False)
+        picked = np.concatenate([[positive], negatives])
+
+        token_ids, token_mask = listener.vocab.encode(
+            sample.tokens, listener.max_query_length
+        )
+        scores = listener.score_proposals(
+            sample.image, proposals.boxes[picked], token_ids, token_mask
+        )
+        loss = margin_ranking_loss(scores[0], scores[1:], margin=margin)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(float(loss.data))
+        logger.periodic(f"step {step + 1}/{steps} loss={losses[-1]:.3f}")
+    return losses

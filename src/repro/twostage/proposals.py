@@ -1,0 +1,229 @@
+"""Stage-i proposal generators (query-blind, as the paper criticises).
+
+Two implementations:
+
+* :class:`SegmentationProposer` — a deterministic selective-search-style
+  proposer: foreground segmentation, connected components, plus jittered
+  and merged variants.  Its ``quality`` knob controls box misalignment
+  and target misses, modelling the detector pathologies of Section 1.
+* :class:`RPNProposer` — a trained class-agnostic region proposal
+  network (the Faster-R-CNN stand-in): backbone + objectness/offset
+  heads over the shared anchor grid, decoded with top-k + NMS.
+
+Both are *query-blind*: nothing about the language query informs stage i,
+which is precisely the structural weakness YOLLO removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from repro.autograd import Tensor, no_grad, softmax
+from repro.backbone import build_backbone
+from repro.data.refcoco import GroundingSample
+from repro.detection import (
+    AnchorGrid,
+    AnchorMatcher,
+    BalancedSampler,
+    MatchResult,
+    clip_boxes,
+    decode_offsets,
+    encode_offsets,
+    iou_matrix,
+    nms,
+)
+from repro.nn import Conv2d, Module, smooth_l1, softmax_cross_entropy
+from repro.optim import Adam
+from repro.utils.logging import ProgressLogger
+from repro.utils.seeding import spawn_rng
+
+
+@dataclass
+class ProposalSet:
+    """Stage-i output for one image."""
+
+    boxes: np.ndarray  # (P, 4)
+    scores: np.ndarray  # (P,) objectness
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+
+class SegmentationProposer:
+    """Selective-search-style proposer over the synthetic renders.
+
+    Foreground pixels (those deviating from the smooth background) are
+    grouped into connected components; each component contributes its
+    bounding box plus ``jitter_copies`` perturbed variants, and adjacent
+    component pairs contribute merged boxes.  ``quality`` in (0, 1]
+    scales both the jitter magnitude and the per-component miss rate.
+    """
+
+    def __init__(self, quality: float = 0.7, jitter_copies: int = 10,
+                 max_proposals: int = 100,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0.0 < quality <= 1.0:
+            raise ValueError("quality must be in (0, 1]")
+        self.quality = quality
+        self.jitter_copies = jitter_copies
+        self.max_proposals = max_proposals
+        self._rng = rng if rng is not None else spawn_rng("seg-proposer")
+
+    def propose(self, image: np.ndarray) -> ProposalSet:
+        """Image ``(3, H, W)`` -> proposals."""
+        rng = self._rng
+        _, height, width = image.shape
+        foreground = self._foreground_mask(image)
+        labels, count = ndimage.label(foreground)
+        jitter_scale = 2.5 * (1.0 - self.quality) + 0.5
+
+        boxes: List[np.ndarray] = []
+        components: List[np.ndarray] = []
+        for slice_y, slice_x in ndimage.find_objects(labels):
+            box = np.asarray(
+                [slice_x.start, slice_y.start, slice_x.stop, slice_y.stop], dtype=np.float64
+            )
+            if (box[2] - box[0]) * (box[3] - box[1]) < 9:
+                continue
+            components.append(box)
+            if rng.random() > self.quality * 0.3 + 0.7:  # occasional hard miss
+                continue
+            boxes.append(box)
+            for _ in range(self.jitter_copies):
+                noise = rng.normal(0.0, jitter_scale, size=4)
+                boxes.append(box + noise)
+        for i in range(len(components)):
+            for j in range(i + 1, len(components)):
+                merged = np.concatenate([components[i], components[j]])
+                boxes.append(
+                    np.asarray(
+                        [merged[0::4].min(), merged[1::4].min(),
+                         merged[2::4].max(), merged[3::4].max()]
+                    )
+                )
+        if not boxes:  # degenerate image: fall back to the full frame
+            boxes = [np.asarray([0.0, 0.0, width, height])]
+
+        stacked = clip_boxes(np.stack(boxes), height, width)[: self.max_proposals]
+        scores = np.linspace(1.0, 0.5, len(stacked))
+        return ProposalSet(boxes=stacked, scores=scores)
+
+    @staticmethod
+    def _foreground_mask(image: np.ndarray) -> np.ndarray:
+        """Pixels whose colour deviates from the smooth background."""
+        channel_spread = image.max(axis=0) - image.min(axis=0)
+        brightness = image.mean(axis=0)
+        return (channel_spread > 0.12) | (brightness > 0.35)
+
+
+class RPNProposer(Module):
+    """Trained class-agnostic RPN (the Faster-R-CNN stage-i stand-in)."""
+
+    def __init__(self, image_height: int = 48, image_width: int = 72,
+                 backbone: str = "tiny", hidden: int = 32,
+                 scales=(12.0, 18.0, 26.0), ratios=(0.5, 1.0, 2.0),
+                 max_proposals: int = 20, nms_iou: float = 0.7):
+        super().__init__()
+        self.backbone = build_backbone(backbone)
+        self.image_height = image_height
+        self.image_width = image_width
+        self.max_proposals = max_proposals
+        self.nms_iou = nms_iou
+        grid_h = image_height // self.backbone.stride
+        grid_w = image_width // self.backbone.stride
+        self.anchor_grid = AnchorGrid(
+            grid_h=grid_h, grid_w=grid_w, stride=self.backbone.stride,
+            scales=tuple(scales), aspect_ratios=tuple(ratios),
+        )
+        k = self.anchor_grid.num_anchors_per_cell
+        self.conv = Conv2d(self.backbone.out_channels, hidden, 3, padding=1)
+        self.cls_head = Conv2d(hidden, 2 * k, 1)
+        self.reg_head = Conv2d(hidden, 4 * k, 1)
+
+    def forward(self, images: Tensor):
+        """Images -> per-anchor (cls logits (B,A,2), offsets (B,A,4))."""
+        feature_map = self.backbone(images)
+        hidden = self.conv(feature_map).relu()
+        batch = feature_map.shape[0]
+        grid = self.anchor_grid
+        k = grid.num_anchors_per_cell
+        cls = self.cls_head(hidden).reshape(batch, k, 2, grid.grid_h, grid.grid_w)
+        cls = cls.transpose(0, 3, 4, 1, 2).reshape(batch, grid.num_anchors, 2)
+        reg = self.reg_head(hidden).reshape(batch, k, 4, grid.grid_h, grid.grid_w)
+        reg = reg.transpose(0, 3, 4, 1, 2).reshape(batch, grid.num_anchors, 4)
+        return cls, reg
+
+    def propose(self, image: np.ndarray) -> ProposalSet:
+        """Run the RPN on one image and decode top proposals."""
+        self.eval()
+        with no_grad():
+            cls, reg = self.forward(Tensor(image[None]))
+            probs = softmax(cls, axis=-1).data[0, :, 1]
+            offsets = reg.data[0]
+        self.train()
+        anchors = self.anchor_grid.all_anchors()
+        order = np.argsort(-probs)[: self.max_proposals * 4]
+        decoded = decode_offsets(anchors[order], offsets[order])
+        decoded = clip_boxes(decoded, self.image_height, self.image_width)
+        keep = nms(decoded, probs[order], iou_threshold=self.nms_iou,
+                   max_keep=self.max_proposals)
+        return ProposalSet(boxes=decoded[keep], scores=probs[order][keep])
+
+
+def train_rpn(
+    rpn: RPNProposer,
+    samples: Sequence[GroundingSample],
+    steps: int = 300,
+    batch_size: int = 8,
+    lr: float = 2e-3,
+    rng: Optional[np.random.Generator] = None,
+    logger: Optional[ProgressLogger] = None,
+) -> List[float]:
+    """Train the RPN to propose *every* object (class-agnostic, query-blind).
+
+    Each scene's full object set supervises the anchors: an anchor is
+    positive if it overlaps any object.  Returns per-step losses.
+    """
+    rng = rng if rng is not None else spawn_rng("rpn-train")
+    logger = logger or ProgressLogger("rpn", enabled=False)
+    matcher = AnchorMatcher(rho_high=0.5, rho_low=0.25)
+    sampler = BalancedSampler(batch_size=128)
+    optimizer = Adam(rpn.parameters(), lr=lr)
+    anchors = rpn.anchor_grid.all_anchors()
+    losses: List[float] = []
+
+    # De-duplicate scenes (several samples share one scene/image).
+    unique = list({id(s.scene): s for s in samples}.values())
+    for step in range(steps):
+        chosen = [unique[int(i)] for i in rng.integers(0, len(unique), size=batch_size)]
+        images = np.stack([s.image for s in chosen])
+        cls, reg = rpn(Tensor(images))
+
+        total = None
+        for b, sample in enumerate(chosen):
+            boxes = sample.scene.boxes()
+            ious = iou_matrix(anchors, boxes)
+            best_iou = ious.max(axis=1)
+            best_obj = ious.argmax(axis=1)
+            labels = np.full(len(anchors), -1, dtype=np.int64)
+            labels[best_iou < 0.25] = 0
+            labels[best_iou >= 0.5] = 1
+            offsets = encode_offsets(anchors, boxes[best_obj])
+            match = MatchResult(labels=labels, offsets=offsets, ious=best_iou)
+            indices, picked_labels = sampler.sample(match, rng=rng)
+            loss = softmax_cross_entropy(cls[b][indices], picked_labels)
+            regressed = np.flatnonzero(best_iou >= 0.25)
+            if len(regressed):
+                loss = loss + smooth_l1(reg[b][regressed], offsets[regressed]).sum(axis=-1).mean()
+            total = loss if total is None else total + loss
+        total = total / float(batch_size)
+        optimizer.zero_grad()
+        total.backward()
+        optimizer.step()
+        losses.append(float(total.data))
+        logger.periodic(f"step {step + 1}/{steps} loss={losses[-1]:.3f}")
+    return losses

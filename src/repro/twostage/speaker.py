@@ -1,0 +1,149 @@
+"""Speaker baseline: caption-likelihood scoring (Mao et al. / Yu et al.).
+
+The speaker is an LSTM language model conditioned on a region embedding;
+a proposal's score is the log-likelihood of generating the query as that
+region's caption.  At inference the LSTM must be unrolled once *per
+proposal*, which is why the speaker is the slowest row of Table 5.
+The MMI variant adds a max-margin term contrasting the target region's
+likelihood against distractor regions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, concatenate, no_grad
+from repro.data.refcoco import GroundingSample
+from repro.detection import iou_matrix
+from repro.nn import Embedding, Linear, LSTM, Module, softmax_cross_entropy
+from repro.optim import Adam
+from repro.text.vocab import Vocabulary
+from repro.twostage.proposals import ProposalSet
+from repro.twostage.regions import RegionEncoder
+from repro.utils.logging import ProgressLogger
+from repro.utils.seeding import spawn_rng
+
+
+class SpeakerScorer(Module):
+    """Region-conditioned LSTM language model over queries.
+
+    The region embedding is concatenated to every word input (a common
+    show-and-tell conditioning variant that avoids state surgery).
+    """
+
+    def __init__(self, vocab: Vocabulary, embed_dim: int = 32,
+                 word_dim: int = 24, hidden_dim: int = 48,
+                 max_query_length: int = 20):
+        super().__init__()
+        self.vocab = vocab
+        self.max_query_length = max_query_length
+        self.word_embedding = Embedding(len(vocab), word_dim, padding_idx=vocab.pad_id)
+        self.lstm = LSTM(word_dim + embed_dim, hidden_dim)
+        self.output = Linear(hidden_dim, len(vocab))
+        self.region_encoder = RegionEncoder(embed_dim=embed_dim)
+
+    def sequence_logits(self, region_embed: Tensor, token_ids: np.ndarray,
+                        token_mask: np.ndarray) -> Tensor:
+        """Teacher-forced next-token logits ``(P, L, V)``.
+
+        ``region_embed`` is ``(P, d)``; the query is broadcast to all P
+        regions.  Step ``t`` predicts token ``t`` from tokens ``< t``
+        (BOS is the zero word embedding).
+        """
+        num_regions = region_embed.shape[0]
+        length = token_ids.shape[-1]
+        ids = np.broadcast_to(token_ids.reshape(1, -1), (num_regions, length))
+        # Shift right: input at step t is token t-1 (PAD acts as BOS).
+        shifted = np.zeros_like(ids)
+        shifted[:, 1:] = ids[:, :-1]
+        embedded = self.word_embedding(shifted)  # (P, L, w)
+        region_seq = region_embed.expand_dims(1) * Tensor(np.ones((1, length, 1)))
+        inputs = concatenate([embedded, region_seq], axis=2)
+        mask = np.broadcast_to(token_mask.reshape(1, -1), (num_regions, length))
+        outputs, _ = self.lstm(inputs, mask=mask)
+        return self.output(outputs)
+
+    def log_likelihoods(self, image: np.ndarray, boxes: np.ndarray,
+                        token_ids: np.ndarray, token_mask: np.ndarray) -> Tensor:
+        """Per-proposal mean log P(query | region): ``(P,)``."""
+        from repro.autograd import log_softmax
+
+        region_embed = self.region_encoder(image, boxes)
+        logits = self.sequence_logits(region_embed, token_ids, token_mask)
+        log_probs = log_softmax(logits, axis=-1)
+        num_regions = logits.shape[0]
+        length = token_ids.shape[-1]
+        ids = np.broadcast_to(token_ids.reshape(1, -1), (num_regions, length))
+        rows = np.arange(num_regions)[:, None]
+        cols = np.arange(length)[None, :]
+        picked = log_probs[rows, cols, ids]  # (P, L)
+        mask = Tensor(np.broadcast_to(token_mask.reshape(1, -1), (num_regions, length)).copy())
+        token_count = max(float(token_mask.sum()), 1.0)
+        return (picked * mask).sum(axis=1) / token_count
+
+    def forward(self, image: np.ndarray, proposals: ProposalSet,
+                token_ids: np.ndarray, token_mask: np.ndarray) -> np.ndarray:
+        """Inference scores for a proposal set (higher = better match)."""
+        self.eval()
+        with no_grad():
+            scores = self.log_likelihoods(
+                image, proposals.boxes, token_ids, token_mask
+            )
+        self.train()
+        return scores.data.copy()
+
+
+def train_speaker(
+    speaker: SpeakerScorer,
+    samples: Sequence[GroundingSample],
+    steps: int = 400,
+    lr: float = 2e-3,
+    mmi_margin: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    logger: Optional[ProgressLogger] = None,
+) -> List[float]:
+    """Train the speaker to caption ground-truth regions.
+
+    ``mmi_margin > 0`` enables the MMI objective: the target region's
+    query likelihood must beat a random distractor region's by the
+    margin (Mao et al., 2016).
+    """
+    rng = rng if rng is not None else spawn_rng("speaker-train")
+    logger = logger or ProgressLogger("speaker", enabled=False)
+    optimizer = Adam(speaker.parameters(), lr=lr)
+    losses: List[float] = []
+
+    for step in range(steps):
+        sample = samples[int(rng.integers(0, len(samples)))]
+        token_ids, token_mask = speaker.vocab.encode(
+            sample.tokens, speaker.max_query_length
+        )
+        region_embed = speaker.region_encoder(sample.image, sample.target_box[None])
+        logits = speaker.sequence_logits(region_embed, token_ids, token_mask)
+        loss = softmax_cross_entropy(
+            logits.reshape(-1, logits.shape[-1]),
+            np.broadcast_to(token_ids, (1, len(token_ids))).reshape(-1),
+            weights=token_mask.reshape(-1),
+        )
+
+        if mmi_margin > 0 and len(sample.scene.objects) > 1:
+            distractors = [
+                o.box for i, o in enumerate(sample.scene.objects)
+                if i != sample.target_index
+            ]
+            distractor = distractors[int(rng.integers(0, len(distractors)))]
+            pair = np.stack([sample.target_box, distractor])
+            likelihoods = speaker.log_likelihoods(
+                sample.image, pair, token_ids, token_mask
+            )
+            margin_term = (likelihoods[1] - likelihoods[0] + mmi_margin).maximum(0.0)
+            loss = loss + margin_term
+
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(float(loss.data))
+        logger.periodic(f"step {step + 1}/{steps} loss={losses[-1]:.3f}")
+    return losses

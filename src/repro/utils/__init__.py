@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic seeding and lightweight progress logging."""
+
+from repro.utils.seeding import get_rng, seed_everything, spawn_rng
+from repro.utils.logging import ProgressLogger
+
+__all__ = ["get_rng", "seed_everything", "spawn_rng", "ProgressLogger"]

@@ -1,0 +1,33 @@
+"""Minimal progress logging used by trainers and the experiment harness."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressLogger:
+    """Rate-limited stderr logger with a common prefix.
+
+    Keeps long training loops observable without flooding the console:
+    messages tagged as periodic are dropped unless ``min_interval``
+    seconds elapsed since the last emitted periodic message.
+    """
+
+    def __init__(self, prefix: str = "", min_interval: float = 1.0, enabled: bool = True):
+        self.prefix = prefix
+        self.min_interval = min_interval
+        self.enabled = enabled
+        self._last_emit = 0.0
+
+    def log(self, message: str) -> None:
+        """Emit an unconditional message."""
+        if self.enabled:
+            print(f"[{self.prefix}] {message}" if self.prefix else message, file=sys.stderr)
+
+    def periodic(self, message: str) -> None:
+        """Emit a message only if enough time passed since the previous one."""
+        now = time.monotonic()
+        if self.enabled and now - self._last_emit >= self.min_interval:
+            self._last_emit = now
+            self.log(message)

@@ -1,0 +1,36 @@
+"""Process-wide deterministic random-number management.
+
+Every stochastic component in the library (weight initialisation, data
+generation, minibatch sampling, dropout) draws from generators produced
+here, so a single :func:`seed_everything` call makes an entire training
+run reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLOBAL_SEED = 0
+_GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def seed_everything(seed: int) -> None:
+    """Reset the global generator; subsequent components are deterministic."""
+    global _GLOBAL_SEED, _GLOBAL_RNG
+    _GLOBAL_SEED = int(seed)
+    _GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the process-global generator (seeded by :func:`seed_everything`)."""
+    return _GLOBAL_RNG
+
+
+def spawn_rng(tag: str = "") -> np.random.Generator:
+    """Derive an independent generator from the global seed and a tag.
+
+    Use this for components that must not perturb each other's random
+    streams (e.g. the data generator vs. model initialisation).
+    """
+    tag_hash = abs(hash(tag)) % (2**31)
+    return np.random.default_rng((_GLOBAL_SEED, tag_hash))

@@ -1,0 +1,12 @@
+"""Visualisation without external imaging libraries: ASCII + PPM."""
+
+from repro.viz.ascii import render_attention_ascii, render_scene_ascii
+from repro.viz.ppm import save_ppm, overlay_attention, draw_box
+
+__all__ = [
+    "render_attention_ascii",
+    "render_scene_ascii",
+    "save_ppm",
+    "overlay_attention",
+    "draw_box",
+]

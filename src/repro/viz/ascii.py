@@ -1,0 +1,71 @@
+"""ASCII renderings of scenes, attention maps and predictions.
+
+Used by the Figure-5 harness to print qualitative results in terminals
+and log files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Light-to-dark ramp for heat maps.
+_RAMP = " .:-=+*#%@"
+
+
+def render_attention_ascii(attention: np.ndarray, box: Optional[np.ndarray] = None,
+                           stride: float = 1.0, width: int = 2) -> str:
+    """Render a ``(gh, gw)`` attention map as an ASCII heat map.
+
+    ``box`` (image coordinates, divided by ``stride``) is drawn as a
+    rectangle of ``[]`` markers on top of the heat characters.
+    """
+    attention = np.asarray(attention, dtype=np.float64)
+    lo, hi = attention.min(), attention.max()
+    normalised = (attention - lo) / (hi - lo + 1e-12)
+    grid_h, grid_w = attention.shape
+    chars = [
+        [_RAMP[int(round(v * (len(_RAMP) - 1)))] * width for v in row]
+        for row in normalised
+    ]
+    if box is not None:
+        col1 = int(np.clip(np.floor(box[0] / stride), 0, grid_w - 1))
+        row1 = int(np.clip(np.floor(box[1] / stride), 0, grid_h - 1))
+        col2 = int(np.clip(np.ceil(box[2] / stride) - 1, col1, grid_w - 1))
+        row2 = int(np.clip(np.ceil(box[3] / stride) - 1, row1, grid_h - 1))
+        for col in range(col1, col2 + 1):
+            chars[row1][col] = "[" + chars[row1][col][1:]
+            chars[row2][col] = chars[row2][col][:-1] + "]"
+        for row in range(row1, row2 + 1):
+            chars[row][col1] = "[" + chars[row][col1][1:]
+            chars[row][col2] = chars[row][col2][:-1] + "]"
+    return "\n".join("".join(row) for row in chars)
+
+
+def render_scene_ascii(image: np.ndarray, target_box: Optional[np.ndarray] = None,
+                       predicted_box: Optional[np.ndarray] = None,
+                       cell: int = 4) -> str:
+    """Down-sample an RGB image to ASCII brightness blocks.
+
+    The target box corners are marked ``T`` and the predicted box
+    corners ``P`` (overlaid after brightness rendering).
+    """
+    _, height, width = image.shape
+    grid_h, grid_w = height // cell, width // cell
+    blocks = image[:, : grid_h * cell, : grid_w * cell]
+    brightness = blocks.mean(axis=0).reshape(grid_h, cell, grid_w, cell).mean(axis=(1, 3))
+    normalised = (brightness - brightness.min()) / (np.ptp(brightness) + 1e-12)
+    chars = [[_RAMP[int(round(v * (len(_RAMP) - 1)))] for v in row] for row in normalised]
+
+    def mark(box: np.ndarray, symbol: str) -> None:
+        for x, y in ((box[0], box[1]), (box[2] - 1, box[3] - 1)):
+            row = int(np.clip(y // cell, 0, grid_h - 1))
+            col = int(np.clip(x // cell, 0, grid_w - 1))
+            chars[row][col] = symbol
+
+    if target_box is not None:
+        mark(np.asarray(target_box), "T")
+    if predicted_box is not None:
+        mark(np.asarray(predicted_box), "P")
+    return "\n".join("".join(row) for row in chars)

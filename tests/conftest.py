@@ -1,0 +1,21 @@
+"""Test-suite fixtures: deterministic seeding and dtype isolation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import set_default_dtype
+from repro.utils import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _deterministic():
+    """Every test starts from the same seed and float64 tensors."""
+    set_default_dtype(np.float64)
+    seed_everything(1234)
+    yield
+    set_default_dtype(np.float64)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)

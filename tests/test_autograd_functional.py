@@ -1,0 +1,121 @@
+"""Functional ops: convolution, pooling, padding, softmax, embedding."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    embedding_lookup,
+    gradient_check,
+    log_softmax,
+    max_pool2d,
+    pad2d,
+    softmax,
+)
+
+
+def make(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        out = conv2d(make((2, 3, 8, 8)), make((5, 3, 3, 3), 1), stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_matches_naive_convolution(self):
+        x = np.random.default_rng(0).normal(size=(1, 1, 4, 4))
+        w = np.random.default_rng(1).normal(size=(1, 1, 2, 2))
+        out = conv2d(Tensor(x), Tensor(w)).data
+        for i in range(3):
+            for j in range(3):
+                expected = (x[0, 0, i : i + 2, j : j + 2] * w[0, 0]).sum()
+                assert np.isclose(out[0, 0, i, j], expected)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 3, 3)))
+        w = Tensor(np.zeros((2, 1, 1, 1)))
+        bias = Tensor(np.array([1.0, -1.0]))
+        out = conv2d(x, w, bias)
+        assert np.allclose(out.data[0, 0], 1.0)
+        assert np.allclose(out.data[0, 1], -1.0)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), ((1, 2), (2, 1))])
+    def test_gradients(self, stride, padding):
+        x, w, b = make((2, 2, 5, 6)), make((3, 2, 3, 3), 1), make((3,), 2)
+        gradient_check(
+            lambda x, w, b: conv2d(x, w, b, stride=stride, padding=padding), [x, w, b]
+        )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_goes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        assert x.grad.sum() == 4
+        assert x.grad[0, 0, 1, 1] == 1.0
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.ones((1, 1, 4, 4)))
+        assert np.allclose(avg_pool2d(x, 2).data, 1.0)
+
+    def test_avg_pool_grad(self):
+        gradient_check(lambda x: avg_pool2d(x, 2, 1), [make((2, 3, 5, 5))])
+
+    def test_max_pool_stride(self):
+        out = max_pool2d(make((1, 1, 6, 6)), 2, stride=3)
+        assert out.shape == (1, 1, 2, 2)
+
+
+class TestPad2d:
+    def test_values(self):
+        out = pad2d(Tensor(np.ones((1, 1, 2, 2))), 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data.sum() == 4
+
+    def test_grad(self):
+        gradient_check(lambda x: pad2d(x, (1, 2)), [make((2, 2, 3, 3))])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(make((4, 7)), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        out = softmax(Tensor([[1000.0, 1000.0]]))
+        assert np.allclose(out.data, 0.5)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = make((3, 5))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    @pytest.mark.parametrize("axis", [0, 1, -1])
+    def test_gradients(self, axis):
+        gradient_check(lambda x: softmax(x, axis=axis), [make((3, 4))])
+        gradient_check(lambda x: log_softmax(x, axis=axis), [make((3, 4), 1)])
+
+
+class TestEmbedding:
+    def test_lookup_values(self):
+        weight = Tensor(np.arange(12.0).reshape(4, 3))
+        out = embedding_lookup(weight, np.array([2, 0]))
+        assert np.allclose(out.data[0], [6, 7, 8])
+
+    def test_duplicate_indices_accumulate_grads(self):
+        weight = Tensor(np.zeros((4, 2)), requires_grad=True)
+        embedding_lookup(weight, np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(weight.grad[1], [2.0, 2.0])
+        assert np.allclose(weight.grad[2], [1.0, 1.0])
+
+    def test_grad_check_2d_indices(self):
+        weight = make((6, 4))
+        idx = np.array([[0, 5], [3, 3]])
+        gradient_check(lambda w: embedding_lookup(w, idx), [weight])

@@ -1,0 +1,54 @@
+"""Command-line interface: argument parsing and tiny end-to-end runs."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "RefCOCO"
+        assert args.epochs == 10
+
+    def test_evaluate_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate"])
+
+    def test_tables_only_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--only", "table9"])
+
+    def test_ground_query_optional(self):
+        args = build_parser().parse_args(["ground", "--model", "m.npz"])
+        assert args.query is None
+
+
+class TestEndToEnd:
+    def test_train_then_evaluate_then_ground(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        checkpoint = str(tmp_path / "model.npz")
+        common = ["--scale", "0.03", "--backbone", "tiny", "--pretrain-steps", "1"]
+
+        code = main(["train", "--epochs", "1", "--out", checkpoint, "--quiet",
+                     "--eval-every", "0"] + common)
+        assert code == 0
+        assert os.path.exists(checkpoint)
+        assert "saved checkpoint" in capsys.readouterr().out
+
+        code = main(["evaluate", "--model", checkpoint] + common)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ACC@0.5" in out and "val" in out
+
+        code = main(["ground", "--model", checkpoint, "--query", "red dog"] + common)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "red dog" in out and "box:" in out

@@ -1,0 +1,148 @@
+"""Target detection network and the YOLLO losses (Eqs. 6-9)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, softmax
+from repro.core import TargetDetectionNetwork, YolloConfig
+from repro.core.losses import (
+    attention_mask_loss,
+    build_gt_mask,
+    detection_loss,
+    yollo_loss,
+)
+
+
+def config(**overrides):
+    base = YolloConfig(backbone="tiny", d_model=8, head_hidden=10, max_query_length=4)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+@pytest.fixture
+def detector():
+    return TargetDetectionNetwork(config(), grid_h=6, grid_w=9, stride=8)
+
+
+class TestDetector:
+    def test_output_shapes(self, detector):
+        features = Tensor(np.random.default_rng(0).random((2, 8, 6, 9)))
+        cls, reg = detector(features)
+        num_anchors = detector.anchor_grid.num_anchors
+        assert cls.shape == (2, num_anchors, 2)
+        assert reg.shape == (2, num_anchors, 4)
+
+    def test_anchor_grid_matches_config(self, detector):
+        assert detector.anchor_grid.num_anchors_per_cell == 9
+
+    def test_channel_to_anchor_alignment(self, detector):
+        """Perturbing one cell's features only changes that cell's anchors."""
+        base = np.zeros((1, 8, 6, 9))
+        bumped = base.copy()
+        bumped[0, :, 2, 3] = 5.0
+        cls_base, _ = detector(Tensor(base))
+        cls_bump, _ = detector(Tensor(bumped))
+        diff = np.abs(cls_base.data - cls_bump.data).sum(axis=-1)[0]
+        changed = np.flatnonzero(diff > 1e-9)
+        cells = {detector.anchor_grid.cell_index(int(i))[:2] for i in changed}
+        # The 3x3 head convs spread influence to neighbouring cells only.
+        for row, col in cells:
+            assert abs(row - 2) <= 2 and abs(col - 3) <= 2
+
+
+class TestGtMask:
+    def test_sums_to_one(self):
+        boxes = np.array([[8.0, 8.0, 24.0, 24.0], [0.0, 0.0, 7.0, 7.0]])
+        masks = build_gt_mask(boxes, grid_h=6, grid_w=9, stride=8)
+        assert np.allclose(masks.sum(axis=1), 1.0)
+
+    def test_mass_inside_box(self):
+        boxes = np.array([[16.0, 8.0, 32.0, 24.0]])
+        mask = build_gt_mask(boxes, 6, 9, 8).reshape(6, 9)
+        assert mask[1:3, 2:4].sum() == pytest.approx(1.0)
+        assert mask[0].sum() == 0.0
+
+    def test_tiny_box_still_covered(self):
+        boxes = np.array([[1.0, 1.0, 2.0, 2.0]])
+        mask = build_gt_mask(boxes, 6, 9, 8)
+        assert mask.sum() == pytest.approx(1.0)
+
+
+class TestAttentionLoss:
+    def test_optimal_at_matching_distribution(self):
+        gt = build_gt_mask(np.array([[8.0, 8.0, 24.0, 24.0]]), 6, 9, 8)
+        aligned = Tensor(np.log(gt + 1e-9))
+        uniform = Tensor(np.zeros_like(gt))
+        assert float(attention_mask_loss(aligned, gt).data) < float(
+            attention_mask_loss(uniform, gt).data
+        )
+
+    def test_gradient_direction(self):
+        gt = build_gt_mask(np.array([[8.0, 8.0, 24.0, 24.0]]), 6, 9, 8)
+        att = Tensor(np.zeros_like(gt), requires_grad=True)
+        attention_mask_loss(att, gt).backward()
+        inside = gt[0] > 0
+        # Gradient pushes attention up inside the box, down outside.
+        assert att.grad[0][inside].mean() < 0
+        assert att.grad[0][~inside].mean() > 0
+
+
+class TestDetectionLoss:
+    def test_returns_finite_losses(self, detector):
+        cfg = config()
+        rng = np.random.default_rng(0)
+        cls = Tensor(rng.normal(size=(2, detector.anchor_grid.num_anchors, 2)),
+                     requires_grad=True)
+        reg = Tensor(rng.normal(size=(2, detector.anchor_grid.num_anchors, 4)),
+                     requires_grad=True)
+        boxes = np.array([[8.0, 8.0, 24.0, 24.0], [30.0, 20.0, 50.0, 40.0]])
+        cls_loss, reg_loss = detection_loss(cls, reg, boxes, detector.anchor_grid, cfg)
+        assert np.isfinite(float(cls_loss.data))
+        assert np.isfinite(float(reg_loss.data))
+
+    def test_perfect_predictions_give_small_loss(self, detector):
+        from repro.detection import AnchorMatcher
+
+        cfg = config()
+        anchors = detector.anchor_grid.all_anchors()
+        box = np.array([[8.0, 8.0, 24.0, 24.0]])
+        match = AnchorMatcher(cfg.rho_high, cfg.rho_low).match(anchors, box[0])
+        logits = np.zeros((1, len(anchors), 2))
+        logits[0, :, 0] = 10.0
+        logits[0, match.positive_indices, 0] = 0.0
+        logits[0, match.positive_indices, 1] = 10.0
+        reg = np.zeros((1, len(anchors), 4))
+        reg[0] = match.offsets
+        cls_loss, reg_loss = detection_loss(
+            Tensor(logits), Tensor(reg), box, detector.anchor_grid, cfg
+        )
+        assert float(cls_loss.data) < 1e-3
+        assert float(reg_loss.data) < 1e-6
+
+
+class TestYolloLoss:
+    def test_breakdown_components(self, detector):
+        cfg = config()
+        rng = np.random.default_rng(1)
+        num_anchors = detector.anchor_grid.num_anchors
+        masks = [Tensor(rng.normal(size=(1, 54)), requires_grad=True) for _ in range(3)]
+        cls = Tensor(rng.normal(size=(1, num_anchors, 2)), requires_grad=True)
+        reg = Tensor(rng.normal(size=(1, num_anchors, 4)), requires_grad=True)
+        boxes = np.array([[8.0, 8.0, 24.0, 24.0]])
+        breakdown = yollo_loss(masks, cls, reg, boxes, detector.anchor_grid, cfg)
+        total = cfg.lambda_att * breakdown.att + breakdown.cls + cfg.lambda_reg * breakdown.reg
+        assert float(breakdown.total.data) == pytest.approx(total, rel=1e-6)
+
+    def test_last_module_only_supervision(self, detector):
+        cfg = config(att_loss_on_all_modules=False)
+        rng = np.random.default_rng(2)
+        num_anchors = detector.anchor_grid.num_anchors
+        masks = [
+            Tensor(rng.normal(size=(1, 54)), requires_grad=True) for _ in range(3)
+        ]
+        cls = Tensor(rng.normal(size=(1, num_anchors, 2)))
+        reg = Tensor(rng.normal(size=(1, num_anchors, 4)))
+        boxes = np.array([[8.0, 8.0, 24.0, 24.0]])
+        breakdown = yollo_loss(masks, cls, reg, boxes, detector.anchor_grid, cfg)
+        breakdown.total.backward()
+        assert masks[0].grad is None
+        assert masks[-1].grad is not None

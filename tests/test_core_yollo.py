@@ -1,0 +1,106 @@
+"""Full YOLLO model, trainer, and Grounder wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import Grounder, YolloConfig, YolloModel, YolloTrainer
+from repro.data import REFCOCO, build_dataset
+from repro.data.loader import encode_batch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(REFCOCO.scaled(0.04))
+
+
+@pytest.fixture(scope="module")
+def cfg(dataset):
+    return YolloConfig(
+        backbone="tiny", d_model=12, d_rel=16, ffn_hidden=16, head_hidden=16,
+        num_rel2att=2, max_query_length=max(6, dataset.max_query_length),
+        batch_size=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def model(dataset, cfg):
+    return YolloModel(cfg, vocab_size=len(dataset.vocab))
+
+
+class TestForward:
+    def test_output_shapes(self, dataset, cfg, model):
+        batch = encode_batch(dataset["train"][:2], dataset.vocab, cfg.max_query_length)
+        out = model(Tensor(batch["images"]), batch["token_ids"], batch["token_mask"])
+        num_anchors = model.anchor_grid.num_anchors
+        assert out.cls_logits.shape == (2, num_anchors, 2)
+        assert out.reg_offsets.shape == (2, num_anchors, 4)
+        assert len(out.attention_masks) == cfg.num_rel2att
+
+    def test_predictions_are_valid_boxes(self, dataset, cfg, model):
+        batch = encode_batch(dataset["val"][:3], dataset.vocab, cfg.max_query_length)
+        preds = model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        assert len(preds) == 3
+        for p in preds:
+            x1, y1, x2, y2 = p.box
+            assert 0 <= x1 <= x2 <= cfg.image_width
+            assert 0 <= y1 <= y2 <= cfg.image_height
+            assert 0.0 <= p.score <= 1.0
+            assert p.attention_map.shape == (model.encoder.grid_h, model.encoder.grid_w)
+
+    def test_predict_restores_train_mode(self, dataset, cfg, model):
+        batch = encode_batch(dataset["val"][:1], dataset.vocab, cfg.max_query_length)
+        model.train()
+        model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        assert model.training
+
+
+class TestTrainer:
+    def test_loss_decreases_on_fixed_batch(self, dataset, cfg):
+        model = YolloModel(cfg, vocab_size=len(dataset.vocab))
+        trainer = YolloTrainer(model, dataset, cfg)
+        from repro.core.trainer import TrainingHistory
+
+        batch = encode_batch(dataset["train"][:4], dataset.vocab, cfg.max_query_length)
+        history = TrainingHistory()
+        first = trainer._step(batch, history)
+        for _ in range(15):
+            last = trainer._step(batch, history)
+        assert last < first
+
+    def test_train_records_history_and_curve(self, dataset, cfg):
+        model = YolloModel(cfg, vocab_size=len(dataset.vocab))
+        trainer = YolloTrainer(model, dataset, cfg)
+        history = trainer.train(epochs=1, eval_every=1, eval_samples=2)
+        assert history.iterations == len(history.losses)
+        assert history.curve.iterations  # at least one eval point
+        assert len(history.loss_components) == history.iterations
+
+    def test_save_load_preserves_predictions(self, dataset, cfg, tmp_path):
+        model = YolloModel(cfg, vocab_size=len(dataset.vocab))
+        path = str(tmp_path / "yollo.npz")
+        model.save(path)
+        clone = YolloModel(cfg, vocab_size=len(dataset.vocab))
+        clone.load(path)
+        batch = encode_batch(dataset["val"][:2], dataset.vocab, cfg.max_query_length)
+        a = model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        b = clone.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        assert np.allclose(a[0].box, b[0].box)
+
+
+class TestGrounder:
+    def test_ground_single_query(self, dataset, cfg, model):
+        grounder = Grounder(model, dataset.vocab)
+        sample = dataset["val"][0]
+        prediction = grounder.ground(sample.image, sample.query)
+        assert prediction.box.shape == (4,)
+
+    def test_ground_batch_protocol(self, dataset, cfg, model):
+        grounder = Grounder(model, dataset.vocab)
+        boxes = grounder(dataset["val"][:3])
+        assert boxes.shape == (3, 4)
+
+    def test_unknown_words_handled(self, dataset, cfg, model):
+        grounder = Grounder(model, dataset.vocab)
+        prediction = grounder.ground(dataset["val"][0].image, "xyzzy plugh")
+        assert np.all(np.isfinite(prediction.box))

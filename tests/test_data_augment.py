@@ -1,0 +1,93 @@
+"""Grounding-aware augmentation: flips must stay language-consistent."""
+
+import numpy as np
+import pytest
+
+from repro.data import REFCOCO, build_dataset
+from repro.data.augment import augment_samples, color_jitter, flip_tokens, hflip_sample
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(REFCOCO.scaled(0.03))
+
+
+class TestFlipTokens:
+    def test_swaps_spatial_words(self):
+        assert flip_tokens(["left", "dog"]) == ["right", "dog"]
+        assert flip_tokens(["dog", "on", "the", "right"]) == ["dog", "on", "the", "left"]
+
+    def test_other_words_untouched(self):
+        assert flip_tokens(["red", "top", "dog"]) == ["red", "top", "dog"]
+
+
+class TestHFlip:
+    def test_image_mirrored(self, dataset):
+        sample = dataset["train"][0]
+        flipped = hflip_sample(sample)
+        assert np.allclose(flipped.image, sample.image[:, :, ::-1])
+
+    def test_box_mirrored_consistently(self, dataset):
+        sample = dataset["train"][0]
+        width = sample.image.shape[2]
+        flipped = hflip_sample(sample)
+        assert np.isclose(flipped.target_box[0], width - sample.target_box[2])
+        assert np.isclose(flipped.target_box[2], width - sample.target_box[0])
+        assert flipped.target_box[1] == sample.target_box[1]
+
+    def test_double_flip_is_identity(self, dataset):
+        sample = dataset["train"][0]
+        twice = hflip_sample(hflip_sample(sample))
+        assert np.allclose(twice.image, sample.image)
+        assert np.allclose(twice.target_box, sample.target_box)
+        assert twice.tokens == sample.tokens
+
+    def test_box_stays_on_object_pixels(self, dataset):
+        """The mirrored box must still cover bright (object) pixels."""
+        sample = dataset["train"][0]
+        flipped = hflip_sample(sample)
+        x1, y1, x2, y2 = flipped.target_box.astype(int)
+        region = flipped.image[:, y1:y2, x1:x2]
+        assert region.mean() > flipped.image.mean()
+
+    def test_original_untouched(self, dataset):
+        sample = dataset["train"][0]
+        image_before = sample.image.copy()
+        hflip_sample(sample)
+        assert np.array_equal(sample.image, image_before)
+
+
+class TestColorJitter:
+    def test_values_stay_in_range(self, dataset):
+        jittered = color_jitter(dataset["train"][0], strength=0.3,
+                                rng=np.random.default_rng(0))
+        assert jittered.image.min() >= 0.0 and jittered.image.max() <= 1.0
+
+    def test_language_and_box_untouched(self, dataset):
+        sample = dataset["train"][0]
+        jittered = color_jitter(sample, rng=np.random.default_rng(0))
+        assert jittered.tokens == sample.tokens
+        assert np.allclose(jittered.target_box, sample.target_box)
+
+    def test_zero_strength_is_identity(self, dataset):
+        sample = dataset["train"][0]
+        jittered = color_jitter(sample, strength=0.0, rng=np.random.default_rng(0))
+        assert np.allclose(jittered.image, sample.image)
+
+
+class TestAugmentSamples:
+    def test_preserves_count(self, dataset):
+        out = augment_samples(dataset["train"][:6], rng=np.random.default_rng(0))
+        assert len(out) == 6
+
+    def test_flip_probability_zero(self, dataset):
+        out = augment_samples(dataset["train"][:4], flip_probability=0.0,
+                              jitter_strength=0.0, rng=np.random.default_rng(0))
+        for original, augmented in zip(dataset["train"][:4], out):
+            assert np.allclose(original.image, augmented.image)
+
+    def test_flip_probability_one(self, dataset):
+        out = augment_samples(dataset["train"][:4], flip_probability=1.0,
+                              jitter_strength=0.0, rng=np.random.default_rng(0))
+        for original, augmented in zip(dataset["train"][:4], out):
+            assert np.allclose(augmented.image, original.image[:, :, ::-1])

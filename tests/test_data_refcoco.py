@@ -1,0 +1,113 @@
+"""Dataset assembly and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    REFCOCO,
+    REFCOCO_PLUS,
+    REFCOCOG,
+    build_dataset,
+    dataset_statistics,
+    encode_batch,
+    PERSON_CATEGORY,
+)
+from repro.text import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def small_refcoco():
+    return build_dataset(REFCOCO.scaled(0.06))
+
+
+class TestBuildDataset:
+    def test_split_sizes(self, small_refcoco):
+        spec = small_refcoco.spec
+        for split, scenes in spec.scenes_per_split.items():
+            assert len(small_refcoco[split]) == scenes * spec.queries_per_scene
+
+    def test_refcocog_has_no_test_splits(self):
+        ds = build_dataset(REFCOCOG.scaled(0.04))
+        assert set(ds.split_names()) == {"train", "val"}
+
+    def test_testA_targets_are_persons(self, small_refcoco):
+        for sample in small_refcoco["testA"]:
+            target = sample.scene.objects[sample.target_index]
+            assert target.category == PERSON_CATEGORY
+
+    def test_testB_has_no_persons(self, small_refcoco):
+        for sample in small_refcoco["testB"]:
+            assert not sample.scene.contains_person()
+
+    def test_target_box_matches_scene_object(self, small_refcoco):
+        for sample in small_refcoco["val"]:
+            expected = sample.scene.objects[sample.target_index].box
+            assert np.allclose(sample.target_box, expected)
+
+    def test_images_match_spec_size(self, small_refcoco):
+        sample = small_refcoco["train"][0]
+        spec = small_refcoco.spec
+        assert sample.image.shape == (3, spec.image_height, spec.image_width)
+
+    def test_deterministic_given_seed(self):
+        a = build_dataset(REFCOCO.scaled(0.03))
+        b = build_dataset(REFCOCO.scaled(0.03))
+        assert a["val"][0].query == b["val"][0].query
+        assert np.allclose(a["val"][0].target_box, b["val"][0].target_box)
+
+    def test_external_vocab_used(self):
+        vocab = Vocabulary(["external"])
+        ds = build_dataset(REFCOCO.scaled(0.03), vocab=vocab)
+        assert ds.vocab is vocab
+
+    def test_statistics_fields(self, small_refcoco):
+        stats = dataset_statistics(small_refcoco)
+        assert stats["queries"] == small_refcoco.num_samples()
+        assert stats["avg_query_length"] > 1.0
+        assert stats["avg_same_type"] >= 1.0
+
+    def test_scaled_keeps_minimum(self):
+        spec = REFCOCO.scaled(0.0001)
+        assert min(spec.scenes_per_split.values()) >= 2
+
+
+class TestBatching:
+    def test_encode_batch_shapes(self, small_refcoco):
+        samples = small_refcoco["train"][:4]
+        batch = encode_batch(samples, small_refcoco.vocab, max_query_length=7)
+        assert batch["images"].shape[0] == 4
+        assert batch["token_ids"].shape == (4, 7)
+        assert batch["token_mask"].shape == (4, 7)
+        assert batch["target_boxes"].shape == (4, 4)
+
+    def test_iterator_covers_all_samples(self, small_refcoco):
+        it = BatchIterator(small_refcoco["train"], small_refcoco.vocab, 7,
+                           batch_size=5, shuffle=False)
+        total = sum(batch["images"].shape[0] for batch in it)
+        assert total == len(small_refcoco["train"])
+
+    def test_drop_last(self, small_refcoco):
+        samples = small_refcoco["train"][:7]
+        it = BatchIterator(samples, small_refcoco.vocab, 7, batch_size=5,
+                           drop_last=True, shuffle=False)
+        batches = list(it)
+        assert len(batches) == 1
+        assert len(it) == 1
+
+    def test_len_without_drop(self, small_refcoco):
+        samples = small_refcoco["train"][:7]
+        it = BatchIterator(samples, small_refcoco.vocab, 7, batch_size=5)
+        assert len(it) == 2
+
+    def test_shuffle_changes_order(self, small_refcoco):
+        samples = small_refcoco["train"]
+        it = BatchIterator(samples, small_refcoco.vocab, 7, batch_size=len(samples),
+                           shuffle=True, rng=np.random.default_rng(0))
+        first = next(iter(it))["target_boxes"]
+        unshuffled = np.stack([s.target_box for s in samples])
+        assert not np.allclose(first, unshuffled)
+
+    def test_invalid_batch_size(self, small_refcoco):
+        with pytest.raises(ValueError):
+            BatchIterator([], small_refcoco.vocab, 7, batch_size=0)

@@ -1,0 +1,98 @@
+"""Scene model and generator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import PERSON_CATEGORY, Scene, SceneGenerator, SceneObject
+from repro.detection import iou_matrix
+
+
+def make_object(category="dog", color="red", box=(0, 0, 10, 10)):
+    return SceneObject(category=category, color=color, box=np.asarray(box, dtype=float))
+
+
+class TestSceneObject:
+    def test_geometry(self):
+        obj = make_object(box=(2, 3, 6, 11))
+        assert obj.width == 4 and obj.height == 8
+        assert obj.area == 32
+        assert obj.center == (4.0, 7.0)
+
+
+class TestScene:
+    def test_same_category(self):
+        scene = Scene(48, 72, [make_object(), make_object(), make_object("car")])
+        assert len(scene.same_category(scene.objects[0])) == 2
+
+    def test_category_counts(self):
+        scene = Scene(48, 72, [make_object(), make_object("car")])
+        assert scene.category_counts() == {"dog": 1, "car": 1}
+
+    def test_contains_person(self):
+        scene = Scene(48, 72, [make_object(PERSON_CATEGORY)])
+        assert scene.contains_person()
+
+    def test_boxes_empty(self):
+        assert Scene(48, 72).boxes().shape == (0, 4)
+
+
+class TestSceneGenerator:
+    def test_boxes_inside_canvas(self):
+        gen = SceneGenerator(rng=np.random.default_rng(0))
+        for _ in range(10):
+            scene = gen.generate()
+            boxes = scene.boxes()
+            assert np.all(boxes[:, 0] >= 0) and np.all(boxes[:, 1] >= 0)
+            assert np.all(boxes[:, 2] <= scene.width)
+            assert np.all(boxes[:, 3] <= scene.height)
+
+    def test_overlap_bounded(self):
+        gen = SceneGenerator(max_overlap_iou=0.08, rng=np.random.default_rng(1))
+        scene = gen.generate()
+        ious = iou_matrix(scene.boxes(), scene.boxes())
+        np.fill_diagonal(ious, 0.0)
+        assert ious.max() <= 0.08 + 1e-9
+
+    def test_require_person_true(self):
+        gen = SceneGenerator(rng=np.random.default_rng(2))
+        scene = gen.generate(require_person=True)
+        persons = [o for o in scene.objects if o.category == PERSON_CATEGORY]
+        assert len(persons) >= 2
+
+    def test_require_person_false(self):
+        gen = SceneGenerator(rng=np.random.default_rng(3))
+        for _ in range(5):
+            scene = gen.generate(require_person=False)
+            assert not scene.contains_person()
+
+    def test_distinct_colors_within_category(self):
+        gen = SceneGenerator(distinct_colors=True, rng=np.random.default_rng(4))
+        for _ in range(8):
+            scene = gen.generate()
+            for obj in scene.objects:
+                group = scene.same_category(obj)
+                colors = [o.color for o in group]
+                assert len(set(colors)) == len(colors)
+
+    def test_density_controls_group_size(self):
+        dense = SceneGenerator(same_type_density=3.9, rng=np.random.default_rng(5))
+        sparse = SceneGenerator(same_type_density=1.6, rng=np.random.default_rng(6))
+        dense_max = np.mean([max(dense.generate().category_counts().values()) for _ in range(10)])
+        sparse_max = np.mean([max(sparse.generate().category_counts().values()) for _ in range(10)])
+        assert dense_max > sparse_max
+
+    def test_canvas_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SceneGenerator(height=10, width=10, min_size=10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_generated_scenes_valid(seed):
+    gen = SceneGenerator(rng=np.random.default_rng(seed))
+    scene = gen.generate()
+    assert len(scene.objects) >= 2
+    for obj in scene.objects:
+        assert obj.width > 0 and obj.height > 0

@@ -1,0 +1,111 @@
+"""Box primitives: IoU, clipping, conversions, offset encode/decode."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (
+    box_area,
+    boxes_to_cxcywh,
+    clip_boxes,
+    cxcywh_to_boxes,
+    decode_offsets,
+    encode_offsets,
+    iou_matrix,
+)
+
+
+def random_boxes(n, seed=0, size=50.0):
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(0, size, size=(n, 2))
+    wh = rng.uniform(1, size / 2, size=(n, 2))
+    return np.concatenate([xy, xy + wh], axis=1)
+
+
+class TestArea:
+    def test_simple(self):
+        assert box_area(np.array([0.0, 0.0, 2.0, 3.0])) == 6.0
+
+    def test_degenerate_is_zero(self):
+        assert box_area(np.array([5.0, 5.0, 3.0, 3.0])) == 0.0
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = np.array([[0.0, 0.0, 4.0, 4.0]])
+        assert np.isclose(iou_matrix(box, box)[0, 0], 1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0.0, 0.0, 1.0, 1.0]])
+        b = np.array([[5.0, 5.0, 6.0, 6.0]])
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0.0, 0.0, 2.0, 2.0]])
+        b = np.array([[1.0, 0.0, 3.0, 2.0]])
+        assert np.isclose(iou_matrix(a, b)[0, 0], 2.0 / 6.0)
+
+    def test_matrix_shape(self):
+        assert iou_matrix(random_boxes(3), random_boxes(5, 1)).shape == (3, 5)
+
+    def test_1d_inputs_promoted(self):
+        a = np.array([0.0, 0.0, 2.0, 2.0])
+        assert iou_matrix(a, a).shape == (1, 1)
+
+
+class TestClip:
+    def test_clips_to_bounds(self):
+        boxes = np.array([[-5.0, -5.0, 100.0, 100.0]])
+        out = clip_boxes(boxes, height=20, width=30)
+        assert np.allclose(out, [[0, 0, 30, 20]])
+
+    def test_does_not_mutate_input(self):
+        boxes = np.array([[-1.0, 0.0, 5.0, 5.0]])
+        clip_boxes(boxes, 4, 4)
+        assert boxes[0, 0] == -1.0
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        boxes = random_boxes(10)
+        assert np.allclose(cxcywh_to_boxes(boxes_to_cxcywh(boxes)), boxes)
+
+    def test_center_values(self):
+        c = boxes_to_cxcywh(np.array([0.0, 0.0, 4.0, 2.0]))
+        assert np.allclose(c, [2.0, 1.0, 4.0, 2.0])
+
+
+class TestOffsets:
+    def test_encode_identity_is_zero(self):
+        boxes = random_boxes(5)
+        assert np.allclose(encode_offsets(boxes, boxes), 0.0, atol=1e-9)
+
+    def test_decode_inverts_encode(self):
+        anchors = random_boxes(8, 0)
+        targets = random_boxes(8, 1)
+        offsets = encode_offsets(anchors, targets)
+        assert np.allclose(decode_offsets(anchors, offsets), targets, atol=1e-6)
+
+    def test_decode_clamps_explosions(self):
+        anchor = np.array([0.0, 0.0, 10.0, 10.0])
+        crazy = np.array([0.0, 0.0, 100.0, 100.0])
+        decoded = decode_offsets(anchor, crazy)
+        assert np.all(np.isfinite(decoded))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed_a=st.integers(0, 1000), seed_b=st.integers(0, 1000))
+def test_property_iou_symmetric_and_bounded(seed_a, seed_b):
+    a, b = random_boxes(4, seed_a), random_boxes(3, seed_b)
+    ious = iou_matrix(a, b)
+    assert np.all(ious >= 0.0) and np.all(ious <= 1.0 + 1e-9)
+    assert np.allclose(ious, iou_matrix(b, a).T)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_encode_decode_roundtrip(seed):
+    anchors = random_boxes(6, seed)
+    targets = random_boxes(6, seed + 1)
+    recovered = decode_offsets(anchors, encode_offsets(anchors, targets))
+    assert np.allclose(recovered, targets, atol=1e-5)

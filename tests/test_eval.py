@@ -1,0 +1,138 @@
+"""Evaluation: metrics, timing, curves, reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import REFCOCO, build_dataset
+from repro.eval import (
+    TrainingCurve,
+    accuracy_at_iou,
+    accuracy_sweep,
+    evaluate_grounder,
+    format_table,
+    mean_iou,
+    time_grounder,
+)
+from repro.eval.metrics import SWEEP_THRESHOLDS, pairwise_ious
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(REFCOCO.scaled(0.03))
+
+
+class TestMetrics:
+    def test_accuracy_at_iou(self):
+        ious = np.array([0.4, 0.6, 0.9])
+        assert accuracy_at_iou(ious, 0.5) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy_at_iou(np.array([])) == 0.0
+        assert mean_iou(np.array([])) == 0.0
+
+    def test_sweep_thresholds(self):
+        assert len(SWEEP_THRESHOLDS) == 10
+        assert SWEEP_THRESHOLDS[0] == 0.5 and SWEEP_THRESHOLDS[-1] == 0.95
+
+    def test_sweep_perfect_predictions(self):
+        assert accuracy_sweep(np.ones(5)) == 1.0
+
+    def test_pairwise_ious_diagonal(self):
+        boxes = np.array([[0.0, 0.0, 10.0, 10.0], [5.0, 5.0, 15.0, 15.0]])
+        assert np.allclose(pairwise_ious(boxes, boxes), 1.0)
+
+    def test_pairwise_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_ious(np.zeros((2, 4)), np.zeros((3, 4)))
+
+    def test_evaluate_perfect_grounder(self, dataset):
+        perfect = lambda samples: np.stack([s.target_box for s in samples])
+        report = evaluate_grounder(perfect, dataset["val"])
+        assert report.acc_at_50 == 1.0
+        assert report.miou == pytest.approx(1.0)
+
+    def test_evaluate_terrible_grounder(self, dataset):
+        terrible = lambda samples: np.zeros((len(samples), 4))
+        report = evaluate_grounder(terrible, dataset["val"])
+        assert report.acc_at_50 == 0.0
+
+    def test_evaluate_batches_correctly(self, dataset):
+        calls = []
+
+        def grounder(samples):
+            calls.append(len(samples))
+            return np.stack([s.target_box for s in samples])
+
+        evaluate_grounder(grounder, dataset["val"], batch_size=3)
+        assert sum(calls) == len(dataset["val"])
+        assert max(calls) <= 3
+
+    def test_report_as_dict(self, dataset):
+        perfect = lambda samples: np.stack([s.target_box for s in samples])
+        report = evaluate_grounder(perfect, dataset["val"])
+        assert set(report.as_dict()) == {"ACC", "ACC@0.5", "ACC@0.75", "MIOU"}
+
+
+class TestTiming:
+    def test_reports_stats(self, dataset):
+        grounder = lambda samples: np.zeros((len(samples), 4))
+        report = time_grounder(grounder, dataset["val"][:4], warmup=1)
+        assert report.num_queries == 4
+        assert report.mean >= 0.0
+        assert report.total_mean == report.mean
+
+    def test_proposal_timer_adds(self, dataset):
+        grounder = lambda samples: np.zeros((len(samples), 4))
+        report = time_grounder(
+            grounder, dataset["val"][:3], proposal_timer=lambda s: 0.5
+        )
+        assert report.proposal_mean == pytest.approx(0.5)
+        assert report.total_mean == pytest.approx(report.mean + 0.5)
+
+
+class TestTrainingCurve:
+    def test_record_and_final(self):
+        curve = TrainingCurve("x")
+        curve.record(10, 0.2)
+        curve.record(20, 0.8)
+        assert curve.final() == 0.8
+        assert curve.best() == 0.8
+        assert curve.as_series() == [(10, 0.2), (20, 0.8)]
+
+    def test_empty_defaults(self):
+        curve = TrainingCurve("x")
+        assert curve.final() == 0.0
+        assert curve.convergence_iteration() == 0
+
+    def test_convergence_iteration(self):
+        curve = TrainingCurve("x")
+        for i, v in [(1, 0.1), (2, 0.5), (3, 0.96), (4, 1.0)]:
+            curve.record(i, v)
+        assert curve.convergence_iteration(0.95) == 3
+
+    def test_ascii_rendering(self):
+        curve = TrainingCurve("demo")
+        for i in range(10):
+            curve.record(i, i / 10)
+        art = curve.render_ascii(width=20, height=5)
+        assert "demo" in art and "*" in art
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(["a", "bb"], [["x", 1.234], ["yy", 10.0]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in table
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_metric_ordering(seed):
+    """ACC <= ACC@0.5 and ACC@0.75 <= ACC@0.5 for any IoU sample."""
+    ious = np.random.default_rng(seed).random(20)
+    assert accuracy_sweep(ious) <= accuracy_at_iou(ious, 0.5) + 1e-12
+    assert accuracy_at_iou(ious, 0.75) <= accuracy_at_iou(ious, 0.5) + 1e-12

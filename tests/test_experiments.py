@@ -1,0 +1,92 @@
+"""Experiment harness: presets, context caching, utils (smoke scale)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentContext, PRESETS, get_preset
+from repro.experiments.context import DATASET_NAMES
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"smoke", "bench", "full"}
+
+    def test_get_preset_by_name(self):
+        assert get_preset("smoke").name == "smoke"
+
+    def test_get_preset_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PRESET", "full")
+        assert get_preset().name == "full"
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_preset("gigantic")
+
+    def test_budgets_ordered(self):
+        assert PRESETS["smoke"].train_scenes < PRESETS["bench"].train_scenes
+        assert PRESETS["bench"].train_scenes < PRESETS["full"].train_scenes
+
+
+@pytest.fixture(scope="module")
+def context(tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("exp-cache"))
+    return ExperimentContext(preset=get_preset("smoke"), cache_dir=cache, verbose=False)
+
+
+class TestContext:
+    def test_dataset_names(self, context):
+        assert set(DATASET_NAMES) == {"RefCOCO", "RefCOCO+", "RefCOCOg"}
+
+    def test_dataset_cached(self, context):
+        assert context.dataset("RefCOCO") is context.dataset("RefCOCO")
+
+    def test_shared_vocab_applied_everywhere(self, context):
+        vocab = context.shared_vocab()
+        for name in DATASET_NAMES:
+            assert context.dataset(name).vocab is vocab
+
+    def test_max_query_length_covers_all(self, context):
+        max_len = context.max_query_length()
+        for name in DATASET_NAMES:
+            assert context.dataset(name).max_query_length <= max_len
+
+    def test_word2vec_matrix_cached(self, context):
+        a = context.word2vec_matrix()
+        b = context.word2vec_matrix()
+        assert a is b
+        assert a.shape[0] == len(context.shared_vocab())
+
+    def test_eval_splits(self, context):
+        assert context.eval_splits("RefCOCO") == ["val", "testA", "testB"]
+        assert context.eval_splits("RefCOCOg") == ["val"]
+
+    def test_yollo_trained_once_and_cached(self, context):
+        model_a, _, curve = context.yollo("RefCOCO")
+        model_b, _, _ = context.yollo("RefCOCO")
+        assert model_a is model_b
+        assert curve.label == "RefCOCO"
+        cached = [f for f in os.listdir(context.cache_dir) if f.startswith("yollo-RefCOCO-main")]
+        assert cached
+
+    def test_yollo_reloads_from_disk(self, context):
+        model_a, _, _ = context.yollo("RefCOCO")
+        context._yollo.clear()
+        model_b, _, _ = context.yollo("RefCOCO")
+        params_a = dict(model_a.named_parameters())
+        params_b = dict(model_b.named_parameters())
+        assert all(np.allclose(params_a[k].data, params_b[k].data) for k in params_a)
+
+    def test_evaluate_cached_to_json(self, context):
+        _, grounder, _ = context.yollo("RefCOCO")
+        first = context.evaluate(grounder, "yollo-RefCOCO", "RefCOCO", "val")
+        second = context.evaluate(grounder, "yollo-RefCOCO", "RefCOCO", "val")
+        assert first.acc_at_50 == second.acc_at_50
+        path = os.path.join(context.cache_dir, "eval-yollo-RefCOCO-RefCOCO-val.json")
+        assert os.path.exists(path)
+
+    def test_baseline_builds(self, context):
+        grounder = context.baseline("listener", "RefCOCO")
+        boxes = grounder(context.dataset("RefCOCO")["val"][:2])
+        assert boxes.shape == (2, 4)

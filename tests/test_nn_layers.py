@@ -1,0 +1,105 @@
+"""Layers: linear, conv, embedding, dropout, activations, FFN."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradient_check
+from repro import nn
+
+
+def make(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestLinear:
+    def test_shape(self):
+        assert nn.Linear(4, 7)(make((5, 4))).shape == (5, 7)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_3d_input(self):
+        assert nn.Linear(4, 2)(make((2, 5, 4))).shape == (2, 5, 2)
+
+    def test_grad(self):
+        layer = nn.Linear(3, 2)
+        gradient_check(lambda *i: layer(i[0]), [make((4, 3))] + layer.parameters())
+
+
+class TestConv2d:
+    def test_shape_with_padding(self):
+        assert nn.Conv2d(3, 6, 3, padding=1)(make((2, 3, 5, 5))).shape == (2, 6, 5, 5)
+
+    def test_stride(self):
+        assert nn.Conv2d(3, 6, 3, stride=2, padding=1)(make((1, 3, 8, 8))).shape == (1, 6, 4, 4)
+
+    def test_grad(self):
+        layer = nn.Conv2d(2, 3, 3, padding=1)
+        gradient_check(lambda *i: layer(i[0]), [make((1, 2, 4, 4))] + layer.parameters())
+
+
+class TestEmbedding:
+    def test_padding_idx_zero_initialised(self):
+        emb = nn.Embedding(5, 4, padding_idx=0)
+        assert np.allclose(emb.weight.data[0], 0.0)
+
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 6)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 6)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = make((4, 4))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_train_scales_kept_units(self):
+        layer = nn.Dropout(0.5)
+        x = Tensor(np.ones((2000,)))
+        out = layer(x).data
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.3 < (out > 0).mean() < 0.7
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_zero_probability_identity(self):
+        x = make((3,))
+        assert np.allclose(nn.Dropout(0.0)(x).data, x.data)
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.allclose(nn.ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_tanh_sigmoid_bounds(self):
+        x = make((10,))
+        assert np.all(np.abs(nn.Tanh()(x).data) <= 1.0)
+        out = nn.Sigmoid()(x).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_leaky_relu(self):
+        out = nn.LeakyReLU(0.2)(Tensor([-1.0])).data
+        assert np.allclose(out, [-0.2])
+
+    def test_flatten(self):
+        assert nn.Flatten()(make((2, 3, 4))).shape == (2, 12)
+
+
+class TestFeedForward:
+    def test_shape(self):
+        ffn = nn.FeedForward(4, 8, 6)
+        assert ffn(make((3, 4))).shape == (3, 6)
+
+    def test_grad_flows_through_both_layers(self):
+        ffn = nn.FeedForward(3, 5, 2)
+        x = make((2, 3))
+        ffn(x).sum().backward()
+        assert ffn.fc1.weight.grad is not None
+        assert ffn.fc2.weight.grad is not None

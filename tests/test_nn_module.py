@@ -1,0 +1,103 @@
+"""Module system: registration, parameter collection, persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, Parameter, Sequential
+
+
+class Child(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3))
+
+
+class Parent(Module):
+    def __init__(self):
+        super().__init__()
+        self.child = Child()
+        self.bias = Parameter(np.zeros(2))
+
+
+def test_parameter_requires_grad():
+    assert Parameter(np.ones(2)).requires_grad
+
+
+def test_recursive_named_parameters():
+    names = dict(Parent().named_parameters())
+    assert set(names) == {"bias", "child.weight"}
+
+
+def test_num_parameters():
+    assert Parent().num_parameters() == 5
+
+
+def test_modules_iterates_tree():
+    assert len(list(Parent().modules())) == 2
+
+
+def test_zero_grad_clears():
+    model = Parent()
+    for p in model.parameters():
+        p.grad = np.ones_like(p.data)
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters())
+
+
+def test_train_eval_propagates():
+    model = Parent()
+    model.eval()
+    assert not model.child.training
+    model.train()
+    assert model.child.training
+
+
+def test_state_dict_roundtrip():
+    a, b = Parent(), Parent()
+    a.bias.data[:] = 7.0
+    b.load_state_dict(a.state_dict())
+    assert np.allclose(b.bias.data, 7.0)
+
+
+def test_state_dict_returns_copies():
+    model = Parent()
+    state = model.state_dict()
+    state["bias"][:] = 99.0
+    assert model.bias.data[0] == 0.0
+
+
+def test_load_state_dict_missing_key():
+    with pytest.raises(KeyError):
+        Parent().load_state_dict({"bias": np.zeros(2)})
+
+
+def test_load_state_dict_shape_mismatch():
+    state = Parent().state_dict()
+    state["bias"] = np.zeros(5)
+    with pytest.raises(ValueError):
+        Parent().load_state_dict(state)
+
+
+def test_save_load_file(tmp_path):
+    path = os.path.join(tmp_path, "model.npz")
+    a = Parent()
+    a.child.weight.data[:] = 3.0
+    a.save(path)
+    b = Parent()
+    b.load(path)
+    assert np.allclose(b.child.weight.data, 3.0)
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(1)
+
+
+def test_sequential_indexing_and_len():
+    seq = Sequential(Linear(2, 3), Linear(3, 4))
+    assert len(seq) == 2
+    assert isinstance(seq[1], Linear)
+    assert seq(Tensor(np.ones((1, 2)))).shape == (1, 4)

@@ -1,0 +1,117 @@
+"""Optimisers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Parameter
+from repro.optim import SGD, Adam, ConstantLR, StepLR, WarmupCosineLR, clip_grad_norm
+
+
+def quadratic_param():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = quadratic_param()
+        p.grad = np.array([1.0, -1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [4.9, -2.9])
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            p.grad = np.array([1.0, 0.0])
+            opt.step()
+        # Second step uses velocity 1.9.
+        assert np.isclose(p.data[0], 5.0 - 0.1 - 0.1 * 1.9)
+
+    def test_weight_decay(self):
+        p = quadratic_param()
+        p.grad = np.zeros(2)
+        SGD([p], lr=0.1, weight_decay=1.0).step()
+        assert np.allclose(p.data, [4.5, -2.7])
+
+    def test_skips_gradless_params(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [5.0, -3.0])
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad = 2 * p.data  # d/dp ||p||^2
+            opt.step()
+        assert np.allclose(p.data, 0.0, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([0.5])
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 - 0.1, atol=1e-6)
+
+    def test_trains_linear_regression(self):
+        layer = Linear(1, 1)
+        opt = Adam(layer.parameters(), lr=0.05)
+        x = np.linspace(-1, 1, 32).reshape(-1, 1)
+        y = 3 * x - 1
+        for _ in range(400):
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 1e-3
+
+
+class TestClipGradNorm:
+    def test_no_clip_under_threshold(self):
+        p = quadratic_param()
+        p.grad = np.array([0.3, 0.4])
+        norm = clip_grad_norm([p], 10.0)
+        assert np.isclose(norm, 0.5)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_to_max_norm(self):
+        p = quadratic_param()
+        p.grad = np.array([3.0, 4.0])
+        clip_grad_norm([p], 1.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.5)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == 0.5
+
+    def test_step_decay(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_warmup_cosine_shape(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup_steps=2, total_steps=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < lrs[1] <= 1.0  # warmup rises
+        assert lrs[-1] < 0.1  # decays toward zero
+
+    def test_warmup_cosine_validates(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(opt, warmup_steps=5, total_steps=5)

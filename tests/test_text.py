@@ -1,0 +1,143 @@
+"""Text stack: tokenizer, vocabulary, positions, word2vec, corpus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    SkipGramWord2Vec,
+    Vocabulary,
+    build_corpus,
+    learned_position_table,
+    sinusoidal_position_table,
+    tokenize,
+)
+from repro.text.vocab import PAD_TOKEN, UNK_TOKEN
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("The Red Dog") == ["the", "red", "dog"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("dog, on the left!") == ["dog", "on", "the", "left"]
+
+    def test_keeps_digits(self):
+        assert tokenize("2 dogs") == ["2", "dogs"]
+
+    def test_empty(self):
+        assert tokenize("  ...  ") == []
+
+
+class TestVocabulary:
+    def test_reserved_ids(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0 and vocab.unk_id == 1
+        assert vocab.id_to_token(0) == PAD_TOKEN
+        assert vocab.id_to_token(1) == UNK_TOKEN
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("dog")
+        assert vocab.add("dog") == first
+        assert len(vocab) == 3
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["dog"])
+        assert vocab.token_to_id("zebra") == vocab.unk_id
+
+    def test_from_corpus_deterministic(self):
+        corpus = [["b", "a"], ["c", "a"]]
+        v1 = Vocabulary.from_corpus(corpus)
+        v2 = Vocabulary.from_corpus(corpus)
+        assert [v1.id_to_token(i) for i in range(len(v1))] == [
+            v2.id_to_token(i) for i in range(len(v2))
+        ]
+
+    def test_encode_pads_and_masks(self):
+        vocab = Vocabulary(["red", "dog"])
+        ids, mask = vocab.encode("red dog", max_length=4)
+        assert ids.tolist()[2:] == [0, 0]
+        assert mask.tolist() == [1, 1, 0, 0]
+
+    def test_encode_truncates(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        ids, mask = vocab.encode(["a", "b", "c"], max_length=2)
+        assert mask.sum() == 2
+
+    def test_encode_accepts_token_list(self):
+        vocab = Vocabulary(["dog"])
+        ids, _ = vocab.encode(["dog"], max_length=2)
+        assert ids[0] == vocab.token_to_id("dog")
+
+    def test_decode_drops_padding(self):
+        vocab = Vocabulary(["dog"])
+        ids, _ = vocab.encode("dog", max_length=3)
+        assert vocab.decode(ids) == ["dog"]
+
+    def test_contains(self):
+        vocab = Vocabulary(["dog"])
+        assert "dog" in vocab and "cat" not in vocab
+
+
+class TestPositions:
+    def test_sinusoidal_shape_and_range(self):
+        table = sinusoidal_position_table(10, 8)
+        assert table.shape == (10, 8)
+        assert np.all(np.abs(table) <= 1.0)
+
+    def test_sinusoidal_rows_distinct(self):
+        table = sinusoidal_position_table(6, 8)
+        assert not np.allclose(table[0], table[1])
+
+    def test_sinusoidal_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            sinusoidal_position_table(4, 3)
+
+    def test_learned_shape(self):
+        assert learned_position_table(5, 6).shape == (5, 6)
+
+
+class TestWord2Vec:
+    def _corpus(self):
+        return [
+            ["red", "dog"], ["blue", "dog"], ["red", "car"], ["blue", "car"],
+            ["red", "ball"], ["blue", "ball"], ["green", "dog"], ["green", "car"],
+        ] * 10
+
+    def test_training_reduces_loss(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.from_corpus(corpus)
+        model = SkipGramWord2Vec(vocab, dim=8)
+        first = model.train(corpus, epochs=1)
+        later = model.train(corpus, epochs=3)
+        assert later < first
+
+    def test_pad_row_stays_zero(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.from_corpus(corpus)
+        model = SkipGramWord2Vec(vocab, dim=8)
+        model.train(corpus, epochs=1)
+        assert np.allclose(model.embedding_matrix()[vocab.pad_id], 0.0)
+
+    def test_colors_cluster(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.from_corpus(corpus)
+        model = SkipGramWord2Vec(vocab, dim=8)
+        model.train(corpus, epochs=8)
+        neighbours = model.most_similar("red", top_k=2)
+        assert "blue" in neighbours or "green" in neighbours
+
+    def test_embedding_matrix_shape(self):
+        vocab = Vocabulary(["a", "b"])
+        model = SkipGramWord2Vec(vocab, dim=4)
+        assert model.embedding_matrix().shape == (4, 4)
+
+
+class TestCorpus:
+    def test_build_corpus_size_and_tokens(self):
+        corpus = build_corpus(20)
+        assert len(corpus) == 20
+        assert all(isinstance(s, list) and s for s in corpus)
+        assert all(t == t.lower() for s in corpus for t in s)

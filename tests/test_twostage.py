@@ -1,0 +1,172 @@
+"""Two-stage baselines: proposals, region features, matchers, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import REFCOCO, build_dataset
+from repro.detection import iou_matrix
+from repro.twostage import (
+    ListenerMatcher,
+    RegionEncoder,
+    RPNProposer,
+    SegmentationProposer,
+    SpeakerScorer,
+    TwoStageGrounder,
+    crop_and_resize,
+    spatial_features,
+    train_listener,
+    train_rpn,
+    train_speaker,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(REFCOCO.scaled(0.04))
+
+
+@pytest.fixture(scope="module")
+def matcher_kwargs(dataset):
+    return dict(embed_dim=12, max_query_length=dataset.max_query_length)
+
+
+class TestRegions:
+    def test_crop_shape(self, dataset):
+        image = dataset["val"][0].image
+        crop = crop_and_resize(image, np.array([5.0, 5.0, 25.0, 20.0]), (16, 16))
+        assert crop.shape == (3, 16, 16)
+
+    def test_crop_clips_out_of_bounds(self, dataset):
+        image = dataset["val"][0].image
+        crop = crop_and_resize(image, np.array([-10.0, -10.0, 200.0, 200.0]), (8, 8))
+        assert crop.shape == (3, 8, 8)
+
+    def test_spatial_features(self):
+        feats = spatial_features(np.array([[0.0, 0.0, 36.0, 24.0]]), 48, 72)
+        assert feats.shape == (1, 5)
+        assert np.isclose(feats[0, 4], 36 * 24 / (48 * 72))
+
+    def test_region_encoder_shapes(self, dataset):
+        encoder = RegionEncoder(embed_dim=12, backbone="tiny")
+        image = dataset["val"][0].image
+        boxes = np.array([[0.0, 0.0, 20.0, 20.0], [10.0, 10.0, 40.0, 30.0]])
+        out = encoder(image, boxes)
+        assert out.shape == (2, 12)
+
+
+class TestSegmentationProposer:
+    def test_finds_objects(self, dataset):
+        proposer = SegmentationProposer(quality=1.0, rng=np.random.default_rng(0))
+        hits = []
+        for sample in dataset["val"]:
+            proposals = proposer.propose(sample.image)
+            hits.append(iou_matrix(proposals.boxes, sample.target_box[None]).max() > 0.4)
+        assert np.mean(hits) >= 0.5
+
+    def test_lower_quality_lowers_recall(self, dataset):
+        def recall(quality, seed):
+            proposer = SegmentationProposer(quality=quality, rng=np.random.default_rng(seed))
+            return np.mean([
+                iou_matrix(proposer.propose(s.image).boxes, s.target_box[None]).max() > 0.5
+                for s in dataset["val"]
+            ])
+
+        assert recall(1.0, 0) >= recall(0.3, 0) - 0.15
+
+    def test_respects_max_proposals(self, dataset):
+        proposer = SegmentationProposer(max_proposals=5, rng=np.random.default_rng(0))
+        assert len(proposer.propose(dataset["val"][0].image)) <= 5
+
+    def test_quality_validation(self):
+        with pytest.raises(ValueError):
+            SegmentationProposer(quality=0.0)
+
+    def test_blank_image_fallback(self):
+        proposer = SegmentationProposer(rng=np.random.default_rng(0))
+        blank = np.full((3, 48, 72), 0.1)
+        proposals = proposer.propose(blank)
+        assert len(proposals) >= 1
+
+
+class TestRPN:
+    def test_propose_shapes(self, dataset):
+        rpn = RPNProposer(backbone="tiny", max_proposals=7)
+        proposals = rpn.propose(dataset["val"][0].image)
+        assert proposals.boxes.shape[1] == 4
+        assert len(proposals) <= 7
+
+    def test_training_reduces_loss(self, dataset):
+        rpn = RPNProposer(backbone="tiny")
+        losses = train_rpn(rpn, dataset["train"], steps=12, batch_size=4)
+        assert np.mean(losses[:4]) > np.mean(losses[-4:])
+
+
+class TestListener:
+    def test_scores_shape(self, dataset, matcher_kwargs):
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        sample = dataset["val"][0]
+        proposer = SegmentationProposer(rng=np.random.default_rng(0))
+        proposals = proposer.propose(sample.image)
+        ids, mask = dataset.vocab.encode(sample.tokens, listener.max_query_length)
+        scores = listener(sample.image, proposals, ids, mask)
+        assert scores.shape == (len(proposals),)
+
+    def test_training_runs_and_reduces_loss(self, dataset, matcher_kwargs):
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        proposer = SegmentationProposer(quality=1.0, rng=np.random.default_rng(1))
+        losses = train_listener(listener, dataset["train"], proposer, steps=40)
+        assert losses, "expected at least one valid training step"
+        assert np.mean(losses[-5:]) <= np.mean(losses[:5]) + 0.1
+
+
+class TestSpeaker:
+    def test_log_likelihoods_shape(self, dataset, matcher_kwargs):
+        speaker = SpeakerScorer(dataset.vocab, **matcher_kwargs)
+        sample = dataset["val"][0]
+        boxes = np.array([[0.0, 0.0, 20.0, 20.0], [5.0, 5.0, 30.0, 30.0]])
+        ids, mask = dataset.vocab.encode(sample.tokens, speaker.max_query_length)
+        scores = speaker.log_likelihoods(sample.image, boxes, ids, mask)
+        assert scores.shape == (2,)
+        assert np.all(scores.data <= 0.0)  # log probabilities
+
+    def test_training_reduces_loss(self, dataset, matcher_kwargs):
+        speaker = SpeakerScorer(dataset.vocab, **matcher_kwargs)
+        losses = train_speaker(speaker, dataset["train"], steps=30)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_mmi_margin_runs(self, dataset, matcher_kwargs):
+        speaker = SpeakerScorer(dataset.vocab, **matcher_kwargs)
+        losses = train_speaker(speaker, dataset["train"], steps=5, mmi_margin=0.2)
+        assert len(losses) == 5
+
+
+class TestPipeline:
+    def test_ground_batch_protocol(self, dataset, matcher_kwargs):
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        proposer = SegmentationProposer(rng=np.random.default_rng(2))
+        grounder = TwoStageGrounder(proposer, {"listener": listener})
+        boxes = grounder(dataset["val"][:3])
+        assert boxes.shape == (3, 4)
+
+    def test_requires_matcher(self, dataset):
+        with pytest.raises(ValueError):
+            TwoStageGrounder(SegmentationProposer(), {})
+
+    def test_timing_fields_recorded(self, dataset, matcher_kwargs):
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        grounder = TwoStageGrounder(
+            SegmentationProposer(rng=np.random.default_rng(3)), {"listener": listener}
+        )
+        grounder.ground_sample(dataset["val"][0])
+        assert grounder.last_proposal_seconds > 0
+        assert grounder.last_matching_seconds > 0
+        assert grounder.proposal_time(dataset["val"][0]) > 0
+
+    def test_ensemble_name(self, dataset, matcher_kwargs):
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        speaker = SpeakerScorer(dataset.vocab, **matcher_kwargs)
+        grounder = TwoStageGrounder(
+            SegmentationProposer(), {"speaker": speaker, "listener": listener}
+        )
+        assert grounder.name == "speaker+listener"

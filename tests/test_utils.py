@@ -1,0 +1,61 @@
+"""Utilities: seeding and progress logging."""
+
+import numpy as np
+
+from repro.utils import ProgressLogger, get_rng, seed_everything, spawn_rng
+
+
+class TestSeeding:
+    def test_seed_everything_reproducible(self):
+        seed_everything(5)
+        a = get_rng().random(4)
+        seed_everything(5)
+        b = get_rng().random(4)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        seed_everything(5)
+        a = get_rng().random(4)
+        seed_everything(6)
+        b = get_rng().random(4)
+        assert not np.allclose(a, b)
+
+    def test_spawn_rng_tag_isolated(self):
+        seed_everything(5)
+        a = spawn_rng("alpha").random(4)
+        b = spawn_rng("beta").random(4)
+        assert not np.allclose(a, b)
+
+    def test_spawn_rng_deterministic_per_tag(self):
+        seed_everything(5)
+        a = spawn_rng("alpha").random(4)
+        seed_everything(5)
+        b = spawn_rng("alpha").random(4)
+        assert np.allclose(a, b)
+
+    def test_spawn_rng_independent_of_global_stream(self):
+        seed_everything(5)
+        get_rng().random(100)  # consume the global stream
+        a = spawn_rng("alpha").random(4)
+        seed_everything(5)
+        b = spawn_rng("alpha").random(4)
+        assert np.allclose(a, b)
+
+
+class TestProgressLogger:
+    def test_log_respects_enabled(self, capsys):
+        ProgressLogger("tag", enabled=False).log("hidden")
+        assert capsys.readouterr().err == ""
+        ProgressLogger("tag", enabled=True).log("shown")
+        assert "shown" in capsys.readouterr().err
+
+    def test_prefix_included(self, capsys):
+        ProgressLogger("prefix").log("msg")
+        assert "[prefix]" in capsys.readouterr().err
+
+    def test_periodic_rate_limited(self, capsys):
+        logger = ProgressLogger("p", min_interval=3600.0)
+        logger.periodic("first")
+        logger.periodic("second")
+        err = capsys.readouterr().err
+        assert "first" in err and "second" not in err
