@@ -10,6 +10,7 @@ before it is fine-tuned inside YOLLO.
 from __future__ import annotations
 
 import os
+import shutil
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -70,12 +71,18 @@ def pretrain_backbone(
     image_width: int = 72,
     rng: Optional[np.random.Generator] = None,
     logger: Optional[ProgressLogger] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> Dict[str, List[float]]:
     """Train ``backbone`` on the synthetic classification task in place.
 
     Returns a history dict with per-step losses and accuracies; the
     classification heads are discarded, matching the paper's use of
-    ImageNet weights.
+    ImageNet weights.  With ``checkpoint_dir`` set the loop runs under a
+    :class:`repro.runtime.TrainingSupervisor`: progress is checkpointed
+    every ``checkpoint_every`` steps, anomalous steps are skipped, and
+    ``resume=True`` continues a killed run from the newest checkpoint.
     """
     rng = rng if rng is not None else spawn_rng("backbone-pretrain")
     logger = logger or ProgressLogger("pretrain", enabled=False)
@@ -84,8 +91,12 @@ def pretrain_backbone(
     optimizer = Adam(backbone.parameters() + head.parameters(), lr=lr)
 
     history: Dict[str, List[float]] = {"loss": [], "category_acc": [], "color_acc": []}
-    for step in range(steps):
-        images, categories, colors = _sample_classification_batch(generator, batch_size, rng)
+    pending: Dict[str, float] = {}
+
+    def forward_backward(step: int) -> float:
+        images, categories, colors = _sample_classification_batch(
+            generator, batch_size, rng
+        )
         features = backbone(Tensor(images))
         cat_logits, color_logits = head(features)
         loss = softmax_cross_entropy(cat_logits, categories) + softmax_cross_entropy(
@@ -93,17 +104,57 @@ def pretrain_backbone(
         )
         optimizer.zero_grad()
         loss.backward()
-        optimizer.step()
-
-        cat_acc = float((cat_logits.data.argmax(axis=1) == categories).mean())
-        color_acc = float((color_logits.data.argmax(axis=1) == colors).mean())
-        history["loss"].append(float(loss.data))
-        history["category_acc"].append(cat_acc)
-        history["color_acc"].append(color_acc)
-        logger.periodic(
-            f"step {step + 1}/{steps} loss={float(loss.data):.3f} "
-            f"cat={cat_acc:.2f} color={color_acc:.2f}"
+        pending["category_acc"] = float(
+            (cat_logits.data.argmax(axis=1) == categories).mean()
         )
+        pending["color_acc"] = float(
+            (color_logits.data.argmax(axis=1) == colors).mean()
+        )
+        return float(loss.data)
+
+    def apply_update(step: int, loss_value: float) -> None:
+        optimizer.step()
+        history["loss"].append(loss_value)
+        history["category_acc"].append(pending["category_acc"])
+        history["color_acc"].append(pending["color_acc"])
+        logger.periodic(
+            f"step {step}/{steps} loss={loss_value:.3f} "
+            f"cat={pending['category_acc']:.2f} color={pending['color_acc']:.2f}"
+        )
+
+    from repro.runtime import CallbackTask, TrainingSupervisor
+
+    task = CallbackTask(
+        total_iterations=steps,
+        forward_backward=forward_backward,
+        apply_update=apply_update,
+        optimizer=optimizer,
+        modules={"backbone": backbone, "head": head},
+        rng=rng,
+        fingerprint_data={
+            "task": "backbone-pretrain",
+            "steps": steps,
+            "batch_size": batch_size,
+            "lr": lr,
+            "image": [image_height, image_width],
+        },
+        extra_state=lambda: {k: list(v) for k, v in history.items()},
+        load_extra_state=lambda saved: history.update(
+            {k: list(v) for k, v in saved.items()}
+        ),
+        result=lambda: history,
+    )
+    if checkpoint_dir is not None:
+        TrainingSupervisor(
+            task,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every or max(1, steps // 4),
+            resume=resume,
+            logger=logger,
+        ).run()
+    else:
+        while task.iteration < task.total_iterations:
+            task.apply_step(task.forward_backward())
     return history
 
 
@@ -139,6 +190,9 @@ def load_pretrained_backbone(
     if os.path.exists(cache_path):
         backbone.load(cache_path)
         return backbone
+    # A killed pretrain resumes from its checkpoints instead of restarting;
+    # the checkpoint directory is removed once the final weights are cached.
+    checkpoint_dir = cache_path + ".ckpts"
     pretrain_backbone(
         backbone,
         steps=steps,
@@ -146,6 +200,10 @@ def load_pretrained_backbone(
         image_width=image_width,
         rng=spawn_rng(f"backbone-pretrain-{name}"),
         logger=logger,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=max(1, steps // 4),
+        resume=True,
     )
     backbone.save(cache_path)
+    shutil.rmtree(checkpoint_dir, ignore_errors=True)
     return backbone

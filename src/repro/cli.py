@@ -63,7 +63,29 @@ def cmd_train(args) -> int:
     model, config = _build_model(args, dataset)
     trainer = YolloTrainer(model, dataset, config,
                            logger=ProgressLogger("train", enabled=not args.quiet))
-    history = trainer.train(epochs=args.epochs, eval_every=args.eval_every)
+    if args.checkpoint_dir:
+        from repro.runtime import TrainingSupervisor
+
+        trainer.begin_run(epochs=args.epochs, eval_every=args.eval_every)
+        supervisor = TrainingSupervisor(
+            trainer,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            logger=ProgressLogger("supervisor", enabled=not args.quiet),
+        )
+        report = supervisor.run()
+        history = trainer.history
+        if report.resumed_from is not None:
+            print(f"resumed from iteration {report.resumed_from}")
+        if report.skipped_steps or report.rollbacks or report.checkpoint_failures:
+            print(f"recovered from faults: {report.skipped_steps} skipped step(s), "
+                  f"{report.rollbacks} rollback(s), "
+                  f"{report.checkpoint_failures} failed checkpoint write(s)")
+    elif args.resume:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    else:
+        history = trainer.train(epochs=args.epochs, eval_every=args.eval_every)
     if history.curve.values:
         print(history.curve.render_ascii())
     model.save(args.out)
@@ -140,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--pretrain-steps", type=int, default=300)
     train.add_argument("--eval-every", type=int, default=50)
     train.add_argument("--out", default="yollo.npz")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="run under the fault-tolerant supervisor, writing "
+                            "rotated checkpoints here")
+    train.add_argument("--checkpoint-every", type=int, default=50,
+                       help="iterations between checkpoints "
+                            "(with --checkpoint-dir)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume bit-exactly from the newest checkpoint "
+                            "in --checkpoint-dir")
     train.add_argument("--quiet", action="store_true")
     train.set_defaults(func=cmd_train)
 

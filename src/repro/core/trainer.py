@@ -4,12 +4,23 @@ Adam over the total loss of Eq. (9); the backbone and word embeddings
 are fine-tuned jointly with everything else, as in the paper.  The
 trainer records per-step losses and a validation ACC@0.5 curve — the
 data behind Figure 4.
+
+The loop is structured as a :class:`repro.runtime.SupervisedTask`:
+``forward_backward`` computes the loss and gradients for the next
+minibatch and ``apply_step`` performs the optimiser update, so a
+:class:`repro.runtime.TrainingSupervisor` can interpose anomaly guards
+and checkpointing between the two.  All mutable training state — model
+parameters, Adam moments, the RNG stream, the current epoch's shuffle
+order and cursor, and the recorded history — round-trips through
+``state_dict``/``load_state_dict``, which makes kill/resume bit-exact:
+training N iterations, checkpointing, and resuming for N more yields
+parameters and losses identical to an uninterrupted 2N-iteration run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -18,7 +29,7 @@ from repro.core.config import YolloConfig
 from repro.core.losses import yollo_loss
 from repro.core.predictor import Grounder
 from repro.core.yollo import YolloModel
-from repro.data.loader import BatchIterator
+from repro.data.loader import encode_batch
 from repro.data.refcoco import GroundingDataset
 from repro.eval.curves import TrainingCurve
 from repro.eval.metrics import evaluate_grounder
@@ -36,9 +47,46 @@ class TrainingHistory:
     curve: TrainingCurve = field(default_factory=lambda: TrainingCurve(label="val ACC@0.5"))
     iterations: int = 0
 
+    def to_state(self) -> Dict[str, Any]:
+        """Serialise to plain containers for checkpointing."""
+        return {
+            "losses": list(self.losses),
+            "loss_components": [dict(c) for c in self.loss_components],
+            "curve": {
+                "label": self.curve.label,
+                "iterations": list(self.curve.iterations),
+                "values": list(self.curve.values),
+            },
+            "iterations": self.iterations,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "TrainingHistory":
+        curve = TrainingCurve(
+            label=state["curve"]["label"],
+            iterations=list(state["curve"]["iterations"]),
+            values=list(state["curve"]["values"]),
+        )
+        return cls(
+            losses=list(state["losses"]),
+            loss_components=[dict(c) for c in state["loss_components"]],
+            curve=curve,
+            iterations=int(state["iterations"]),
+        )
+
 
 class YolloTrainer:
-    """Train a :class:`YolloModel` on a :class:`GroundingDataset`."""
+    """Train a :class:`YolloModel` on a :class:`GroundingDataset`.
+
+    Also implements the :class:`repro.runtime.SupervisedTask` protocol,
+    so it can be driven by a :class:`repro.runtime.TrainingSupervisor`
+    for checkpoint/resume and anomaly recovery::
+
+        trainer.begin_run(epochs=8, eval_every=50)
+        TrainingSupervisor(trainer, checkpoint_dir="ckpts",
+                           checkpoint_every=100, resume=True).run()
+        history = trainer.history
+    """
 
     def __init__(
         self,
@@ -55,7 +103,63 @@ class YolloTrainer:
         self._rng = rng if rng is not None else spawn_rng("yollo-trainer")
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self.grounder = Grounder(model, dataset.vocab)
+        self._train_samples = list(dataset["train"])
 
+        # Run state (reset by begin_run, restored by load_state_dict).
+        self.history = TrainingHistory()
+        self.iteration = 0
+        self.total_iterations = 0
+        self.eval_every = 0
+        self._eval_subset: List = []
+        self._epochs_announced = 1
+        self._epoch_order: Optional[np.ndarray] = None
+        self._epoch_cursor = 0
+        self._epoch = 0
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # Run setup
+    # ------------------------------------------------------------------
+    def iterations_per_epoch(self) -> int:
+        full, remainder = divmod(len(self._train_samples), self.config.batch_size)
+        return full + (1 if remainder else 0)
+
+    def begin_run(
+        self,
+        epochs: Optional[int] = None,
+        iterations: Optional[int] = None,
+        eval_every: int = 0,
+        eval_split: str = "val",
+        eval_samples: int = 32,
+    ) -> "YolloTrainer":
+        """Reset per-run state and fix the step/eval plan.
+
+        Either ``epochs`` (the default, ``config.epochs``) or an explicit
+        ``iterations`` budget determines ``total_iterations``.
+        """
+        per_epoch = self.iterations_per_epoch()
+        if iterations is not None:
+            self.total_iterations = iterations
+            self._epochs_announced = max(1, -(-iterations // per_epoch))
+        else:
+            epochs = epochs if epochs is not None else self.config.epochs
+            self.total_iterations = epochs * per_epoch
+            self._epochs_announced = epochs
+        self.history = TrainingHistory()
+        self.iteration = 0
+        self.eval_every = eval_every
+        self._eval_subset = (
+            list(self.dataset[eval_split][:eval_samples]) if eval_every else []
+        )
+        self._epoch_order = None
+        self._epoch_cursor = 0
+        self._epoch = 0
+        self._pending = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Classic entry point
+    # ------------------------------------------------------------------
     def train(
         self,
         epochs: Optional[int] = None,
@@ -68,35 +172,42 @@ class YolloTrainer:
         ``eval_every > 0`` evaluates validation ACC@0.5 on a fixed subset
         every that many iterations (recorded into the Figure-4 curve).
         """
-        epochs = epochs if epochs is not None else self.config.epochs
-        history = TrainingHistory()
-        iterator = BatchIterator(
-            self.dataset["train"],
-            self.dataset.vocab,
-            max_query_length=self.config.max_query_length,
-            batch_size=self.config.batch_size,
-            shuffle=True,
-            rng=self._rng,
-        )
-        eval_subset = list(self.dataset[eval_split][:eval_samples]) if eval_every else []
+        self.begin_run(epochs=epochs, eval_every=eval_every,
+                       eval_split=eval_split, eval_samples=eval_samples)
+        while self.iteration < self.total_iterations:
+            loss_value = self.forward_backward()
+            self.apply_step(loss_value)
+            if self.eval_every and self.iteration % self.eval_every == 0:
+                self.periodic_eval()
+        self.finalize()
+        return self.history
 
-        iteration = 0
-        for epoch in range(epochs):
-            for batch in iterator:
-                iteration += 1
-                loss_value = self._step(batch, history)
-                self.logger.periodic(
-                    f"epoch {epoch + 1}/{epochs} iter {iteration} loss={loss_value:.3f}"
-                )
-                if eval_every and iteration % eval_every == 0:
-                    self._record_eval(history, eval_subset, iteration)
-        if eval_every and (not history.curve.iterations
-                           or history.curve.iterations[-1] != iteration):
-            self._record_eval(history, eval_subset, iteration)
-        history.iterations = iteration
-        return history
+    # ------------------------------------------------------------------
+    # SupervisedTask protocol
+    # ------------------------------------------------------------------
+    def parameters(self) -> List:
+        return self.optimizer.parameters
 
-    def _step(self, batch: Dict[str, np.ndarray], history: TrainingHistory) -> float:
+    def _next_batch(self) -> Dict[str, np.ndarray]:
+        n = len(self._train_samples)
+        if self._epoch_order is None or self._epoch_cursor >= n:
+            order = np.arange(n)
+            self._rng.shuffle(order)
+            self._epoch_order = order
+            self._epoch_cursor = 0
+            self._epoch += 1
+        chunk = self._epoch_order[
+            self._epoch_cursor : self._epoch_cursor + self.config.batch_size
+        ]
+        self._epoch_cursor += self.config.batch_size
+        samples = [self._train_samples[i] for i in chunk]
+        return encode_batch(samples, self.dataset.vocab, self.config.max_query_length)
+
+    def forward_backward(self) -> float:
+        """Loss and gradients for the next minibatch; no parameter update."""
+        return self._forward_backward_batch(self._next_batch())
+
+    def _forward_backward_batch(self, batch: Dict[str, np.ndarray]) -> float:
         output = self.model(
             Tensor(batch["images"]), batch["token_ids"], batch["token_mask"]
         )
@@ -111,17 +222,104 @@ class YolloTrainer:
         )
         self.optimizer.zero_grad()
         breakdown.total.backward()
+        self._pending = breakdown
+        return float(breakdown.total.data)
+
+    def apply_step(self, loss_value: float) -> None:
+        """Clip, update parameters, and record the step into history."""
+        breakdown = self._pending
+        self._pending = None
         if self.config.grad_clip:
             clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
         self.optimizer.step()
+        self.iteration += 1
+        self.history.losses.append(float(loss_value))
+        self.history.loss_components.append(
+            {"att": breakdown.att, "cls": breakdown.cls, "reg": breakdown.reg}
+        )
+        self.history.iterations = self.iteration
+        per_epoch = self.iterations_per_epoch()
+        epoch = (self.iteration - 1) // per_epoch
+        self.logger.periodic(
+            f"epoch {epoch + 1}/{self._epochs_announced} "
+            f"iter {self.iteration} loss={loss_value:.3f}"
+        )
 
-        loss_value = float(breakdown.total.data)
-        history.losses.append(loss_value)
+    def _step(self, batch: Dict[str, np.ndarray], history: TrainingHistory) -> float:
+        """One optimisation step on an explicit batch (fixed-batch loops).
+
+        Bypasses the epoch machinery and records into the given history
+        instead of ``self.history``.
+        """
+        loss_value = self._forward_backward_batch(batch)
+        breakdown = self._pending
+        self._pending = None
+        if self.config.grad_clip:
+            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+        self.optimizer.step()
+        history.losses.append(float(loss_value))
         history.loss_components.append(
             {"att": breakdown.att, "cls": breakdown.cls, "reg": breakdown.reg}
         )
         return loss_value
 
+    def skip_step(self) -> None:
+        """Advance past an anomalous step without touching the weights."""
+        self._pending = None
+        self.optimizer.zero_grad()
+        self.iteration += 1
+        self.history.iterations = self.iteration
+
+    def periodic_eval(self) -> None:
+        self._record_eval(self.history, self._eval_subset, self.iteration)
+
+    def finalize(self) -> None:
+        """Trailing evaluation so the curve always ends at the last step."""
+        if self.eval_every and (not self.history.curve.iterations
+                                or self.history.curve.iterations[-1] != self.iteration):
+            self.periodic_eval()
+
+    def result(self) -> TrainingHistory:
+        return self.history
+
+    def fingerprint_data(self) -> Dict[str, Any]:
+        return {
+            "config": asdict(self.config),
+            "vocab_size": len(self.dataset.vocab),
+            "train_size": len(self._train_samples),
+            "num_parameters": self.model.num_parameters(),
+        }
+
+    # ------------------------------------------------------------------
+    # State persistence (checkpoint payload)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "iteration": self.iteration,
+            "epoch": self._epoch,
+            "epoch_cursor": self._epoch_cursor,
+            "epoch_order": (
+                None if self._epoch_order is None else self._epoch_order.copy()
+            ),
+            "history": self.history.to_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self._rng.bit_generator.state = state["rng"]
+        self.iteration = int(state["iteration"])
+        self._epoch = int(state["epoch"])
+        self._epoch_cursor = int(state["epoch_cursor"])
+        order = state["epoch_order"]
+        self._epoch_order = None if order is None else np.asarray(order).copy()
+        self.history = TrainingHistory.from_state(state["history"])
+        self._pending = None
+
+    # ------------------------------------------------------------------
     def _record_eval(self, history: TrainingHistory, subset, iteration: int) -> None:
         if not subset:
             return

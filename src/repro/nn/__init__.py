@@ -1,6 +1,11 @@
 """Neural-network building blocks on top of :mod:`repro.autograd`."""
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import (
+    Module,
+    Parameter,
+    StateDictKeyError,
+    StateDictShapeError,
+)
 from repro.nn.layers import (
     Conv2d,
     Dropout,
@@ -28,6 +33,8 @@ from repro.nn import init
 __all__ = [
     "Module",
     "Parameter",
+    "StateDictKeyError",
+    "StateDictShapeError",
     "Linear",
     "Conv2d",
     "Embedding",

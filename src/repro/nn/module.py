@@ -10,6 +10,17 @@ from repro.autograd import Tensor
 from repro.autograd.tensor import get_default_dtype
 
 
+class StateDictKeyError(KeyError):
+    """Raised when a state_dict has missing or unexpected parameter names."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; show it plainly
+        return self.args[0] if self.args else ""
+
+
+class StateDictShapeError(ValueError):
+    """Raised when state_dict entries disagree with parameter shapes."""
+
+
 class Parameter(Tensor):
     """A tensor registered as a trainable weight of a :class:`Module`."""
 
@@ -86,19 +97,41 @@ class Module:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values; raises on missing or mis-shaped entries."""
+        """Load parameter values atomically.
+
+        Every problem is gathered before any parameter is touched, so a
+        bad snapshot can never leave the module half-loaded: missing and
+        unexpected keys raise ``StateDictKeyError`` (a ``KeyError``)
+        listing both sets, and shape mismatches raise
+        ``StateDictShapeError`` (a ``ValueError``) listing every
+        offending entry — silent numpy broadcasting never happens.
+        """
         own = dict(self.named_parameters())
         missing = sorted(set(own) - set(state))
         unexpected = sorted(set(state) - set(own))
         if missing or unexpected:
-            raise KeyError(f"state mismatch: missing={missing}, unexpected={unexpected}")
+            parts = []
+            if missing:
+                parts.append(f"missing keys: {', '.join(missing)}")
+            if unexpected:
+                parts.append(f"unexpected keys: {', '.join(unexpected)}")
+            raise StateDictKeyError(
+                f"state_dict does not match module ({'; '.join(parts)})"
+            )
+        converted = {
+            name: np.asarray(state[name], dtype=get_default_dtype()) for name in own
+        }
+        mismatched = [
+            f"{name}: expected {param.shape}, got {converted[name].shape}"
+            for name, param in own.items()
+            if converted[name].shape != param.shape
+        ]
+        if mismatched:
+            raise StateDictShapeError(
+                "state_dict shape mismatch (" + "; ".join(mismatched) + ")"
+            )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=get_default_dtype())
-            if value.shape != param.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
-                )
-            param.data[...] = value
+            param.data[...] = converted[name]
 
     def save(self, path: str) -> None:
         """Serialise the parameters to an ``.npz`` file."""

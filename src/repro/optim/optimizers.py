@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.autograd import Tensor
+
+
+def _load_buffers(target: List[np.ndarray], source, parameters: List[Tensor],
+                  label: str) -> None:
+    """Copy serialized moment buffers into ``target``, validating layout."""
+    if len(source) != len(parameters):
+        raise ValueError(
+            f"optimizer state mismatch: {len(source)} {label} buffers for "
+            f"{len(parameters)} parameters"
+        )
+    for index, (buffer, param) in enumerate(zip(source, parameters)):
+        value = np.asarray(buffer)
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"optimizer state mismatch: {label}[{index}] has shape "
+                f"{value.shape}, parameter has {param.data.shape}"
+            )
+        target[index] = value.astype(param.data.dtype, copy=True)
 
 
 class Optimizer:
@@ -24,6 +42,26 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Persistence (checkpoint/resume support)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Snapshot the optimiser's mutable state (copies)."""
+        return {"type": type(self).__name__, "lr": self.lr}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state written by :meth:`state_dict`.
+
+        Raises ``ValueError`` when the snapshot belongs to a different
+        optimiser class or does not match the parameter layout.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state was written by {state.get('type')!r}, "
+                f"cannot load into {type(self).__name__}"
+            )
+        self.lr = float(state["lr"])
 
 
 class SGD(Optimizer):
@@ -48,6 +86,15 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        _load_buffers(self._velocity, state["velocity"], self.parameters, "velocity")
 
 
 class Adam(Optimizer):
@@ -81,14 +128,32 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        _load_buffers(self._m, state["m"], self.parameters, "m")
+        _load_buffers(self._v, state["v"], self.parameters, "v")
+
 
 def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm (useful for logging divergence).
+    Returns the pre-clipping norm (useful for logging divergence).  A
+    non-finite total norm leaves every gradient untouched: scaling by
+    ``max_norm / nan`` would poison all parameters, whereas leaving the
+    gradients alone lets anomaly guards detect and skip the step.
     """
     params = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if not np.isfinite(total):
+        return total
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in params:

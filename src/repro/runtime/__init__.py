@@ -1,0 +1,64 @@
+"""Fault-tolerant training runtime.
+
+Makes every gradient-descent loop in the repo crash-safe and
+self-healing: atomic checksummed checkpoints with rotation and
+bit-exact resume (:mod:`checkpoint`), NaN/spike anomaly guards with
+skip-step and rollback (:mod:`guards`), retry/backoff with graceful
+degradation for flaky auxiliary stages (:mod:`retry`), a deterministic
+fault-injection harness (:mod:`faults`), and the
+:class:`TrainingSupervisor` orchestrating all of it (:mod:`supervisor`).
+"""
+
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    FingerprintMismatchError,
+    config_fingerprint,
+)
+from repro.runtime.guards import (
+    AnomalyGuard,
+    GuardAction,
+    GuardVerdict,
+    nonfinite_gradients,
+)
+from repro.runtime.retry import (
+    RetryExhaustedError,
+    graceful,
+    retry_call,
+    with_retry,
+)
+from repro.runtime.faults import FaultPlan, SimulatedCrash, corrupt_file
+from repro.runtime.supervisor import (
+    CallbackTask,
+    SupervisedTask,
+    SupervisorReport,
+    TrainingAborted,
+    TrainingSupervisor,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointManager",
+    "FingerprintMismatchError",
+    "config_fingerprint",
+    "AnomalyGuard",
+    "GuardAction",
+    "GuardVerdict",
+    "nonfinite_gradients",
+    "RetryExhaustedError",
+    "retry_call",
+    "with_retry",
+    "graceful",
+    "FaultPlan",
+    "SimulatedCrash",
+    "corrupt_file",
+    "SupervisedTask",
+    "CallbackTask",
+    "SupervisorReport",
+    "TrainingAborted",
+    "TrainingSupervisor",
+]

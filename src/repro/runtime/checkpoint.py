@@ -1,0 +1,191 @@
+"""Atomic, checksummed, rotated training checkpoints.
+
+A checkpoint is a single file::
+
+    MAGIC (14 bytes) || sha256 hexdigest of body (64 bytes) || "\\n" || body
+
+where ``body`` is the pickled record ``{"fingerprint", "iteration",
+"payload"}``.  Writes go to a temporary file in the same directory,
+are fsynced, and then atomically renamed into place, so a crash
+mid-write can never shadow a good checkpoint with a torn one.  Loads
+verify the checksum and fall back to the previous rotation when the
+newest file is corrupt.
+
+The fingerprint is a stable hash of the training configuration; a
+resume against a checkpoint written under a different configuration is
+refused rather than silently producing a chimera run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+MAGIC = b"REPRO-CKPT-v1\n"
+_DIGEST_LEN = 64  # sha256 hexdigest
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The file is truncated, has a bad checksum, or fails to unpickle."""
+
+
+class FingerprintMismatchError(CheckpointError):
+    """The checkpoint was written under a different training configuration."""
+
+
+def config_fingerprint(data: Any) -> str:
+    """Stable short hash of a JSON-serialisable configuration description."""
+    blob = json.dumps(data, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Checkpoint:
+    """A verified checkpoint loaded from disk."""
+
+    path: str
+    iteration: int
+    fingerprint: Optional[str]
+    payload: Dict[str, Any]
+
+
+class CheckpointManager:
+    """Write and recover rotated checkpoints under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where ``ckpt-<iteration>.ckpt`` files live (created if absent).
+    keep:
+        Number of most-recent checkpoints retained; older rotations are
+        deleted after each successful write.
+    fingerprint:
+        Configuration fingerprint stamped into every write and checked
+        on every load (``None`` disables the check).
+    fault_plan:
+        Optional :class:`repro.runtime.faults.FaultPlan`; its
+        checkpoint hooks are invoked around each write so IO-failure
+        and corruption recovery paths are testable.
+    """
+
+    def __init__(self, directory: str, keep: int = 3,
+                 fingerprint: Optional[str] = None, fault_plan=None,
+                 logger=None):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = directory
+        self.keep = keep
+        self.fingerprint = fingerprint
+        self.fault_plan = fault_plan
+        self.logger = logger
+        self._write_index = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, iteration: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{iteration:08d}.ckpt")
+
+    def paths(self) -> List[str]:
+        """Checkpoint files sorted oldest-first (by iteration number)."""
+        names = [n for n in os.listdir(self.directory)
+                 if n.startswith("ckpt-") and n.endswith(".ckpt")]
+        return [os.path.join(self.directory, n) for n in sorted(names)]
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+    def save(self, payload: Dict[str, Any], iteration: int) -> str:
+        """Atomically write one checkpoint and rotate old ones."""
+        index = self._write_index
+        self._write_index += 1
+        if self.fault_plan is not None:
+            self.fault_plan.on_checkpoint_write(index)
+        body = pickle.dumps(
+            {
+                "fingerprint": self.fingerprint,
+                "iteration": int(iteration),
+                "payload": payload,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        path = self.path_for(iteration)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(digest)
+            handle.write(b"\n")
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self.fault_plan is not None:
+            self.fault_plan.after_checkpoint_write(index, path)
+        self._rotate()
+        return path
+
+    def _rotate(self) -> None:
+        for stale in self.paths()[: -self.keep]:
+            try:
+                os.remove(stale)
+            except OSError:
+                pass  # a missing/locked stale rotation is not fatal
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def load(self, path: str) -> Checkpoint:
+        """Load and verify one checkpoint file."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(f"cannot read {path}: {exc}") from exc
+        header_len = len(MAGIC) + _DIGEST_LEN + 1
+        if len(raw) < header_len or not raw.startswith(MAGIC):
+            raise CheckpointCorruptError(f"{path}: bad or truncated header")
+        digest = raw[len(MAGIC) : len(MAGIC) + _DIGEST_LEN]
+        body = raw[header_len:]
+        if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+            raise CheckpointCorruptError(f"{path}: checksum mismatch")
+        try:
+            record = pickle.loads(body)
+        except Exception as exc:
+            raise CheckpointCorruptError(f"{path}: unpickle failed: {exc}") from exc
+        fingerprint = record.get("fingerprint")
+        if (self.fingerprint is not None and fingerprint is not None
+                and fingerprint != self.fingerprint):
+            raise FingerprintMismatchError(
+                f"{path} was written under configuration {fingerprint}, "
+                f"this run is {self.fingerprint}; refusing to resume"
+            )
+        return Checkpoint(
+            path=path,
+            iteration=int(record["iteration"]),
+            fingerprint=fingerprint,
+            payload=record["payload"],
+        )
+
+    def load_latest(self) -> Optional[Checkpoint]:
+        """Newest valid checkpoint, falling back across corrupt rotations.
+
+        Returns ``None`` when no usable checkpoint exists; a fingerprint
+        mismatch propagates (it is a configuration error, not damage).
+        """
+        for path in reversed(self.paths()):
+            try:
+                return self.load(path)
+            except CheckpointCorruptError as exc:
+                if self.logger is not None:
+                    self.logger.log(f"skipping corrupt checkpoint: {exc}")
+        return None

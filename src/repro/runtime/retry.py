@@ -1,0 +1,97 @@
+"""Retry with exponential backoff and graceful degradation.
+
+Flaky auxiliary stages (checkpoint IO, periodic evaluation) must never
+kill a training run: transient failures are retried with jittered
+exponential backoff, and persistent failures of *optional* stages are
+logged and swallowed via :func:`graceful`.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.utils.seeding import spawn_rng
+
+
+class RetryExhaustedError(RuntimeError):
+    """All retry attempts failed; the last exception is chained as cause."""
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    jitter: float = 0.5,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    describe: str = "operation",
+    sleep: Callable[[float], None] = time.sleep,
+    rng=None,
+    logger=None,
+) -> Any:
+    """Call ``fn`` up to ``attempts`` times with exponential backoff.
+
+    The backoff for attempt *k* is ``base_delay * 2**(k-1)`` capped at
+    ``max_delay``, multiplied by a random factor in ``[1, 1+jitter]``
+    so that parallel workers retrying a shared resource de-synchronise.
+    ``sleep`` and ``rng`` are injectable for deterministic tests.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    rng = rng if rng is not None else spawn_rng("retry-backoff")
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == attempts:
+                raise RetryExhaustedError(
+                    f"{describe} failed after {attempts} attempt(s): {exc!r}"
+                ) from exc
+            delay = min(max_delay, base_delay * (2.0 ** (attempt - 1)))
+            delay *= 1.0 + jitter * float(rng.random())
+            if logger is not None:
+                logger.log(
+                    f"{describe} failed (attempt {attempt}/{attempts}): "
+                    f"{exc!r}; retrying in {delay:.2f}s"
+                )
+            sleep(delay)
+
+
+def with_retry(**retry_kwargs) -> Callable:
+    """Decorator form of :func:`retry_call`."""
+
+    def decorate(fn: Callable) -> Callable:
+        kwargs_for_call = dict(retry_kwargs)
+        kwargs_for_call.setdefault("describe", fn.__name__)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return retry_call(lambda: fn(*args, **kwargs), **kwargs_for_call)
+
+        return wrapper
+
+    return decorate
+
+
+def graceful(
+    fn: Callable[[], Any],
+    *,
+    default: Any = None,
+    swallow: Tuple[Type[BaseException], ...] = (Exception,),
+    describe: str = "stage",
+    logger=None,
+) -> Tuple[bool, Any]:
+    """Run an optional stage; failures degrade to ``(False, default)``.
+
+    Used for stages whose failure must never terminate training (e.g. a
+    periodic evaluation): the exception is logged and swallowed.
+    """
+    try:
+        return True, fn()
+    except swallow as exc:
+        if logger is not None:
+            logger.log(f"{describe} failed, continuing without it: {exc!r}")
+        return False, default

@@ -18,7 +18,7 @@ from repro.twostage.proposals import (
 )
 from repro.twostage.listener import ListenerMatcher, train_listener
 from repro.twostage.speaker import SpeakerScorer, train_speaker
-from repro.twostage.pipeline import TwoStageGrounder
+from repro.twostage.pipeline import TwoStageGrounder, train_matchers
 
 __all__ = [
     "crop_and_resize",
@@ -33,4 +33,5 @@ __all__ = [
     "SpeakerScorer",
     "train_speaker",
     "TwoStageGrounder",
+    "train_matchers",
 ]

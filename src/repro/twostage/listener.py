@@ -70,6 +70,9 @@ def train_listener(
     negatives_per_step: int = 8,
     rng: Optional[np.random.Generator] = None,
     logger: Optional[ProgressLogger] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> List[float]:
     """Train the listener over stage-i proposals with a ranking loss.
 
@@ -79,6 +82,10 @@ def train_listener(
     needlessly slow — inference still scores all of them).  Samples
     whose proposals all miss the target (IoU < 0.3) are skipped — the
     standard two-stage training-time consequence of stage-i misses.
+
+    With ``checkpoint_dir`` set the loop runs under a
+    :class:`repro.runtime.TrainingSupervisor` (checkpoint/resume plus
+    anomaly skip-step); ``resume=True`` continues a killed run.
     """
     rng = rng if rng is not None else spawn_rng("listener-train")
     logger = logger or ProgressLogger("listener", enabled=False)
@@ -86,7 +93,7 @@ def train_listener(
     proposal_cache = {}
     losses: List[float] = []
 
-    for step in range(steps):
+    def forward_backward(step: int) -> Optional[float]:
         sample = samples[int(rng.integers(0, len(samples)))]
         key = id(sample.scene)
         if key not in proposal_cache:
@@ -95,11 +102,11 @@ def train_listener(
         ious = iou_matrix(proposals.boxes, sample.target_box[None])[:, 0]
         positive = int(ious.argmax())
         if ious[positive] < 0.3 or len(proposals) < 2:
-            continue
+            return None
 
         negatives = np.flatnonzero(ious < 0.3)
         if not len(negatives):
-            continue
+            return None
         if len(negatives) > negatives_per_step:
             negatives = rng.choice(negatives, size=negatives_per_step, replace=False)
         picked = np.concatenate([[positive], negatives])
@@ -113,7 +120,43 @@ def train_listener(
         loss = margin_ranking_loss(scores[0], scores[1:], margin=margin)
         optimizer.zero_grad()
         loss.backward()
+        return float(loss.data)
+
+    def apply_update(step: int, loss_value: float) -> None:
         optimizer.step()
-        losses.append(float(loss.data))
-        logger.periodic(f"step {step + 1}/{steps} loss={losses[-1]:.3f}")
+        losses.append(loss_value)
+        logger.periodic(f"step {step}/{steps} loss={loss_value:.3f}")
+
+    from repro.runtime import CallbackTask, TrainingSupervisor
+
+    task = CallbackTask(
+        total_iterations=steps,
+        forward_backward=forward_backward,
+        apply_update=apply_update,
+        optimizer=optimizer,
+        modules={"listener": listener},
+        rng=rng,
+        fingerprint_data={"task": "listener-train", "steps": steps, "lr": lr,
+                          "margin": margin, "negatives": negatives_per_step},
+        extra_state=lambda: {"losses": list(losses)},
+        load_extra_state=lambda saved: losses.__setitem__(
+            slice(None), saved["losses"]
+        ),
+        result=lambda: losses,
+    )
+    if checkpoint_dir is not None:
+        TrainingSupervisor(
+            task,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every or max(1, steps // 4),
+            resume=resume,
+            logger=logger,
+        ).run()
+    else:
+        while task.iteration < task.total_iterations:
+            loss_value = task.forward_backward()
+            if loss_value is None:
+                task.skip_step()
+            else:
+                task.apply_step(loss_value)
     return losses

@@ -103,19 +103,26 @@ def train_speaker(
     mmi_margin: float = 0.0,
     rng: Optional[np.random.Generator] = None,
     logger: Optional[ProgressLogger] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> List[float]:
     """Train the speaker to caption ground-truth regions.
 
     ``mmi_margin > 0`` enables the MMI objective: the target region's
     query likelihood must beat a random distractor region's by the
     margin (Mao et al., 2016).
+
+    With ``checkpoint_dir`` set the loop runs under a
+    :class:`repro.runtime.TrainingSupervisor` (checkpoint/resume plus
+    anomaly skip-step); ``resume=True`` continues a killed run.
     """
     rng = rng if rng is not None else spawn_rng("speaker-train")
     logger = logger or ProgressLogger("speaker", enabled=False)
     optimizer = Adam(speaker.parameters(), lr=lr)
     losses: List[float] = []
 
-    for step in range(steps):
+    def forward_backward(step: int) -> float:
         sample = samples[int(rng.integers(0, len(samples)))]
         token_ids, token_mask = speaker.vocab.encode(
             sample.tokens, speaker.max_query_length
@@ -143,7 +150,39 @@ def train_speaker(
 
         optimizer.zero_grad()
         loss.backward()
+        return float(loss.data)
+
+    def apply_update(step: int, loss_value: float) -> None:
         optimizer.step()
-        losses.append(float(loss.data))
-        logger.periodic(f"step {step + 1}/{steps} loss={losses[-1]:.3f}")
+        losses.append(loss_value)
+        logger.periodic(f"step {step}/{steps} loss={loss_value:.3f}")
+
+    from repro.runtime import CallbackTask, TrainingSupervisor
+
+    task = CallbackTask(
+        total_iterations=steps,
+        forward_backward=forward_backward,
+        apply_update=apply_update,
+        optimizer=optimizer,
+        modules={"speaker": speaker},
+        rng=rng,
+        fingerprint_data={"task": "speaker-train", "steps": steps, "lr": lr,
+                          "mmi_margin": mmi_margin},
+        extra_state=lambda: {"losses": list(losses)},
+        load_extra_state=lambda saved: losses.__setitem__(
+            slice(None), saved["losses"]
+        ),
+        result=lambda: losses,
+    )
+    if checkpoint_dir is not None:
+        TrainingSupervisor(
+            task,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every or max(1, steps // 4),
+            resume=resume,
+            logger=logger,
+        ).run()
+    else:
+        while task.iteration < task.total_iterations:
+            task.apply_step(task.forward_backward())
     return losses

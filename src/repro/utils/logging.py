@@ -18,7 +18,9 @@ class ProgressLogger:
         self.prefix = prefix
         self.min_interval = min_interval
         self.enabled = enabled
-        self._last_emit = 0.0
+        # -inf, not 0.0: time.monotonic() has an arbitrary origin, so a
+        # zero start could silently swallow the first periodic message.
+        self._last_emit = float("-inf")
 
     def log(self, message: str) -> None:
         """Emit an unconditional message."""

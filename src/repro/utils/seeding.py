@@ -8,6 +8,8 @@ run reproducible.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 _GLOBAL_SEED = 0
@@ -31,6 +33,12 @@ def spawn_rng(tag: str = "") -> np.random.Generator:
 
     Use this for components that must not perturb each other's random
     streams (e.g. the data generator vs. model initialisation).
+
+    The tag is folded in with CRC-32 rather than ``hash()`` — the
+    built-in string hash is salted per process (``PYTHONHASHSEED``),
+    which would give every process a different stream and break
+    cross-process reproducibility (and checkpoint resume in a fresh
+    process).
     """
-    tag_hash = abs(hash(tag)) % (2**31)
+    tag_hash = zlib.crc32(tag.encode("utf-8"))
     return np.random.default_rng((_GLOBAL_SEED, tag_hash))

@@ -7,6 +7,19 @@ from repro.autograd import set_default_dtype
 from repro.utils import seed_everything
 
 
+@pytest.fixture(autouse=True, scope="module")
+def _deterministic_module():
+    """Module-scoped fixtures (shared datasets, pretrained models) build
+    from the same seed whether the module runs alone or mid-suite.
+
+    Without this, a module-scoped fixture is instantiated *before* the
+    per-test reseed below and inherits whatever RNG state the previous
+    test left behind — so `pytest tests/test_x.py` and a full run would
+    exercise different data.
+    """
+    seed_everything(1234)
+
+
 @pytest.fixture(autouse=True)
 def _deterministic():
     """Every test starts from the same seed and float64 tensors."""

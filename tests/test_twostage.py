@@ -65,14 +65,19 @@ class TestSegmentationProposer:
         assert np.mean(hits) >= 0.5
 
     def test_lower_quality_lowers_recall(self, dataset):
+        # Averaged over proposer seeds and the larger train split: a
+        # single-seed measurement on the 4-sample val split swings by
+        # 0.25 per flipped sample, drowning the quality effect in noise.
         def recall(quality, seed):
             proposer = SegmentationProposer(quality=quality, rng=np.random.default_rng(seed))
             return np.mean([
                 iou_matrix(proposer.propose(s.image).boxes, s.target_box[None]).max() > 0.5
-                for s in dataset["val"]
+                for s in dataset["train"]
             ])
 
-        assert recall(1.0, 0) >= recall(0.3, 0) - 0.15
+        high = np.mean([recall(1.0, seed) for seed in range(5)])
+        low = np.mean([recall(0.3, seed) for seed in range(5)])
+        assert high >= low - 0.15
 
     def test_respects_max_proposals(self, dataset):
         proposer = SegmentationProposer(max_proposals=5, rng=np.random.default_rng(0))
