@@ -31,6 +31,7 @@ from repro.data import (
     build_dataset,
 )
 from repro.eval import evaluate_grounder
+from repro.serve import ServeEngine, ServerStats
 
 __version__ = "1.0.0"
 
@@ -48,6 +49,8 @@ __all__ = [
     "REFCOCOG",
     "build_dataset",
     "evaluate_grounder",
+    "ServeEngine",
+    "ServerStats",
     "quick_grounder",
     "__version__",
 ]

@@ -23,6 +23,15 @@ BACKBONE_PRESETS: Dict[str, Callable[[], object]] = {
     "tiny": lambda: MiniResNet(
         stem_channels=12, stage_channels=(16, 24), blocks_per_stage=(1, 1), norm="none"
     ),
+    # Batch-normalised variants (the original ResNet recipe).  These carry
+    # running-statistics buffers, exercising the buffer persistence path
+    # of :class:`repro.nn.Module` end to end.
+    "resnet50-bn": lambda: MiniResNet(
+        stage_channels=(24, 32), blocks_per_stage=(1, 1), norm="batch"
+    ),
+    "tiny-bn": lambda: MiniResNet(
+        stem_channels=12, stage_channels=(16, 24), blocks_per_stage=(1, 1), norm="batch"
+    ),
 }
 
 

@@ -32,10 +32,10 @@ class ClassificationHead(Module):
     activations into the background.
     """
 
-    def __init__(self, in_channels: int):
+    def __init__(self, in_channels: int, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        self.category_head = Linear(in_channels, len(CATEGORIES))
-        self.color_head = Linear(in_channels, len(COLORS))
+        self.category_head = Linear(in_channels, len(CATEGORIES), rng=rng)
+        self.color_head = Linear(in_channels, len(COLORS), rng=rng)
 
     def forward(self, features: Tensor) -> Tuple[Tensor, Tensor]:
         pooled = features.max(axis=(2, 3))
@@ -87,7 +87,11 @@ def pretrain_backbone(
     rng = rng if rng is not None else spawn_rng("backbone-pretrain")
     logger = logger or ProgressLogger("pretrain", enabled=False)
     generator = SceneGenerator(height=image_height, width=image_width, rng=rng)
-    head = ClassificationHead(backbone.out_channels)
+    # The head must draw its initial weights from the pretrain's own
+    # stream: pulling from the process-global generator here would shift
+    # every later init for cache-miss runs only, making cold- and
+    # warm-cache training runs diverge.
+    head = ClassificationHead(backbone.out_channels, rng=rng)
     optimizer = Adam(backbone.parameters() + head.parameters(), lr=lr)
 
     history: Dict[str, List[float]] = {"loss": [], "category_acc": [], "color_acc": []}

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli train --dataset RefCOCO --epochs 10 --out model.npz
     python -m repro.cli evaluate --dataset RefCOCO --model model.npz
     python -m repro.cli ground --dataset RefCOCO --model model.npz --query "red dog"
+    python -m repro.cli serve-bench --dataset RefCOCO --requests 128
     python -m repro.cli tables --preset smoke --only table1 table5
 """
 
@@ -132,6 +133,50 @@ def cmd_ground(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Compare one-at-a-time grounding against the micro-batched engine."""
+    import time
+
+    from repro.core import Grounder
+    from repro.serve import ServeEngine, synthetic_trace
+
+    _setup(args)
+    dataset = _build_dataset(args)
+    model, _ = _build_model(args, dataset)
+    if args.model:
+        model.load(args.model)
+    model.eval()
+    grounder = Grounder(model, dataset.vocab)
+    pool = list(dataset["val"]) or list(dataset["train"])
+    trace = synthetic_trace(pool, args.requests,
+                            repeat_fraction=args.repeat_fraction)
+
+    # Warm both paths (JIT-free, but first calls touch allocation paths).
+    grounder.ground(trace[0].image, trace[0].query)
+
+    start = time.perf_counter()
+    for request in trace:
+        grounder.ground(request.image, request.query)
+    baseline_seconds = time.perf_counter() - start
+    baseline_qps = len(trace) / baseline_seconds
+
+    with ServeEngine(grounder, max_batch=args.max_batch, max_wait=args.max_wait,
+                     cache_size=args.cache_size) as engine:
+        start = time.perf_counter()
+        engine.ground_many(trace)
+        batched_seconds = time.perf_counter() - start
+        stats = engine.stats()
+
+    batched_qps = len(trace) / batched_seconds
+    print(f"one-at-a-time: {len(trace)} requests in {baseline_seconds:.3f}s "
+          f"({baseline_qps:.1f} qps)")
+    print(f"micro-batched: {len(trace)} requests in {batched_seconds:.3f}s "
+          f"({batched_qps:.1f} qps)")
+    print(f"speedup: {baseline_seconds / batched_seconds:.2f}x")
+    print(stats.render())
+    return 0
+
+
 def cmd_tables(args) -> int:
     from repro.experiments import (
         ExperimentContext, figure4, figure5, get_preset,
@@ -190,6 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="free-form query (defaults to the sample's)")
     ground.add_argument("--index", type=int, default=0)
     ground.set_defaults(func=cmd_ground)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the micro-batching serving engine vs naive grounding")
+    _add_common(serve_bench)
+    serve_bench.add_argument("--model", default=None,
+                             help="checkpoint to serve (default: fresh weights)")
+    serve_bench.add_argument("--backbone", default="tiny")
+    serve_bench.add_argument("--pretrain-steps", type=int, default=1)
+    serve_bench.add_argument("--requests", type=int, default=128,
+                             help="synthetic trace length")
+    serve_bench.add_argument("--repeat-fraction", type=float, default=0.3,
+                             help="fraction of requests repeating earlier ones")
+    serve_bench.add_argument("--max-batch", type=int, default=16)
+    serve_bench.add_argument("--max-wait", type=float, default=0.002,
+                             help="seconds to wait for batch stragglers")
+    serve_bench.add_argument("--cache-size", type=int, default=256,
+                             help="LRU result-cache entries (0 disables)")
+    serve_bench.set_defaults(func=cmd_serve_bench)
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument("--preset", default=None, choices=["smoke", "bench", "full"])

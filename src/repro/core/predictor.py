@@ -7,6 +7,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.yollo import GroundingPrediction, YolloModel
+from repro.data.loader import encode_batch
 from repro.data.refcoco import GroundingSample
 from repro.text.vocab import Vocabulary
 
@@ -23,6 +24,10 @@ class Grounder:
         self.vocab = vocab
 
     @property
+    def name(self) -> str:
+        return "yollo"
+
+    @property
     def max_query_length(self) -> int:
         return self.model.config.max_query_length
 
@@ -37,12 +42,16 @@ class Grounder:
 
     def ground_batch(self, samples: Sequence[GroundingSample]) -> np.ndarray:
         """Grounder protocol: samples -> predicted boxes ``(n, 4)``."""
-        images = np.stack([s.image for s in samples])
-        ids = np.empty((len(samples), self.max_query_length), dtype=np.int64)
-        mask = np.empty((len(samples), self.max_query_length))
-        for row, sample in enumerate(samples):
-            ids[row], mask[row] = self.vocab.encode(sample.tokens, self.max_query_length)
-        predictions: List[GroundingPrediction] = self.model.predict(images, ids, mask)
+        batch = encode_batch(samples, self.vocab, self.max_query_length)
+        predictions: List[GroundingPrediction] = self.model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
         return np.stack([p.box for p in predictions])
 
     __call__ = ground_batch
+
+    def serve(self, **kwargs) -> "ServeEngine":  # noqa: F821 (lazy import)
+        """Wrap this grounder in a micro-batching :class:`ServeEngine`."""
+        from repro.serve import ServeEngine
+
+        return ServeEngine(self, **kwargs)

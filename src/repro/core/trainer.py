@@ -20,7 +20,7 @@ parameters and losses identical to an uninterrupted 2N-iteration run.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -95,6 +95,7 @@ class YolloTrainer:
         config: Optional[YolloConfig] = None,
         logger: Optional[ProgressLogger] = None,
         rng: Optional[np.random.Generator] = None,
+        scheduler: Optional[Callable] = None,
     ):
         self.model = model
         self.dataset = dataset
@@ -102,6 +103,11 @@ class YolloTrainer:
         self.logger = logger or ProgressLogger("yollo-train", enabled=False)
         self._rng = rng if rng is not None else spawn_rng("yollo-trainer")
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        #: Optional LR schedule, built from a factory ``optimizer -> scheduler``
+        #: (e.g. ``lambda opt: StepLR(opt, step_size=100)``) and stepped after
+        #: every optimiser update.  Its position persists through
+        #: ``state_dict``/``load_state_dict`` so resume continues the decay.
+        self.scheduler = scheduler(self.optimizer) if scheduler is not None else None
         self.grounder = Grounder(model, dataset.vocab)
         self._train_samples = list(dataset["train"])
 
@@ -232,6 +238,8 @@ class YolloTrainer:
         if self.config.grad_clip:
             clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
         self.optimizer.step()
+        if self.scheduler is not None:
+            self.scheduler.step()
         self.iteration += 1
         self.history.losses.append(float(loss_value))
         self.history.loss_components.append(
@@ -257,6 +265,8 @@ class YolloTrainer:
         if self.config.grad_clip:
             clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
         self.optimizer.step()
+        if self.scheduler is not None:
+            self.scheduler.step()
         history.losses.append(float(loss_value))
         history.loss_components.append(
             {"att": breakdown.att, "cls": breakdown.cls, "reg": breakdown.reg}
@@ -297,6 +307,9 @@ class YolloTrainer:
         return {
             "model": self.model.state_dict(),
             "optimizer": self.optimizer.state_dict(),
+            "scheduler": (
+                None if self.scheduler is None else self.scheduler.state_dict()
+            ),
             "rng": self._rng.bit_generator.state,
             "iteration": self.iteration,
             "epoch": self._epoch,
@@ -310,6 +323,15 @@ class YolloTrainer:
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         self.model.load_state_dict(state["model"])
         self.optimizer.load_state_dict(state["optimizer"])
+        scheduler_state = state.get("scheduler")
+        if (scheduler_state is None) != (self.scheduler is None):
+            raise ValueError(
+                "scheduler mismatch: checkpoint "
+                f"{'has' if scheduler_state is not None else 'lacks'} scheduler "
+                f"state but this trainer {'lacks' if self.scheduler is None else 'has'} one"
+            )
+        if self.scheduler is not None:
+            self.scheduler.load_state_dict(scheduler_state)
         self._rng.bit_generator.state = state["rng"]
         self.iteration = int(state["iteration"])
         self._epoch = int(state["epoch"])

@@ -82,13 +82,15 @@ class YolloModel(Module):
         to a clipped sliver, and its classification score is weakly
         supervised, so letting it win produces degenerate boxes.
         """
+        was_training = self.training
         self.eval()
         with no_grad():
             output = self.forward(Tensor(images), token_ids, token_mask)
             probs = softmax(output.cls_logits, axis=-1).data[..., 1]  # (B, A)
             offsets = output.reg_offsets.data
             last_mask = softmax(output.attention_masks[-1], axis=-1).data
-        self.train()
+        if was_training:
+            self.train()
 
         anchors = self.anchor_grid.all_anchors()
         margin = 0.25 * self.anchor_grid.stride

@@ -7,7 +7,7 @@ from repro.eval.metrics import (
     evaluate_grounder,
     mean_iou,
 )
-from repro.eval.timing import TimingReport, time_grounder
+from repro.eval.timing import TimingReport, summarize_latencies, time_grounder
 from repro.eval.curves import TrainingCurve
 from repro.eval.reporting import format_table
 
@@ -18,6 +18,7 @@ __all__ = [
     "evaluate_grounder",
     "MetricReport",
     "time_grounder",
+    "summarize_latencies",
     "TimingReport",
     "TrainingCurve",
     "format_table",

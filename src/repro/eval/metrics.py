@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from repro.data.refcoco import GroundingSample
-from repro.detection import iou_matrix
+from repro.detection import box_area
 
 #: The IoU thresholds of the COCO-style ACC metric (0.5:0.05:0.95).
 SWEEP_THRESHOLDS = tuple(np.arange(0.5, 0.96, 0.05).round(2))
@@ -23,20 +23,33 @@ GrounderFn = Callable[[Sequence[GroundingSample]], np.ndarray]
 
 
 def pairwise_ious(predicted: np.ndarray, targets: np.ndarray) -> np.ndarray:
-    """IoU of each predicted box with its own target: ``(n,)``."""
+    """IoU of each predicted box with its own target: ``(n,)``.
+
+    One vectorised pass over the aligned pairs — no per-sample Python
+    loop, and no ``(n, n)`` matrix of which only the diagonal is used.
+    """
     predicted = np.asarray(predicted, dtype=np.float64).reshape(-1, 4)
     targets = np.asarray(targets, dtype=np.float64).reshape(-1, 4)
     if predicted.shape != targets.shape:
         raise ValueError("predicted and target boxes must align one-to-one")
-    return np.array(
-        [iou_matrix(p[None], t[None])[0, 0] for p, t in zip(predicted, targets)]
-    )
+    left = np.maximum(predicted[:, 0], targets[:, 0])
+    top = np.maximum(predicted[:, 1], targets[:, 1])
+    right = np.minimum(predicted[:, 2], targets[:, 2])
+    bottom = np.minimum(predicted[:, 3], targets[:, 3])
+    intersection = np.clip(right - left, 0.0, None) * np.clip(bottom - top, 0.0, None)
+    union = box_area(predicted) + box_area(targets) - intersection
+    return intersection / np.maximum(union, 1e-8)
 
 
 def accuracy_at_iou(ious: np.ndarray, threshold: float = 0.5) -> float:
-    """Fraction of predictions with IoU above ``threshold`` (ACC@eta)."""
+    """Fraction of predictions with IoU >= ``threshold`` (ACC@eta).
+
+    The comparison is inclusive: the paper defines ACC@eta as the
+    fraction of predictions whose IoU reaches the threshold, so a
+    prediction at exactly IoU = eta counts as a hit.
+    """
     ious = np.asarray(ious)
-    return float((ious > threshold).mean()) if len(ious) else 0.0
+    return float((ious >= threshold).mean()) if len(ious) else 0.0
 
 
 def accuracy_sweep(ious: np.ndarray) -> float:

@@ -31,6 +31,27 @@ class TimingReport:
         return self.mean + self.proposal_mean
 
 
+def summarize_latencies(
+    durations: Sequence[float], proposal_mean: float = 0.0
+) -> TimingReport:
+    """Condense a list of per-query latencies into a :class:`TimingReport`.
+
+    Shared by :func:`time_grounder` and the serving engine's
+    :class:`repro.serve.ServerStats`, so every latency number in the
+    repo is summarised the same way.
+    """
+    durations = np.asarray(list(durations), dtype=np.float64)
+    if durations.size == 0:
+        return TimingReport(mean=0.0, std=0.0, num_queries=0,
+                            proposal_mean=proposal_mean)
+    return TimingReport(
+        mean=float(durations.mean()),
+        std=float(durations.std()),
+        num_queries=int(durations.size),
+        proposal_mean=proposal_mean,
+    )
+
+
 def time_grounder(
     grounder: Callable[[Sequence[GroundingSample]], np.ndarray],
     samples: Sequence[GroundingSample],
@@ -56,9 +77,4 @@ def time_grounder(
     if proposal_timer is not None:
         proposal_mean = float(np.mean([proposal_timer(s) for s in samples]))
 
-    return TimingReport(
-        mean=float(np.mean(durations)),
-        std=float(np.std(durations)),
-        num_queries=len(samples),
-        proposal_mean=proposal_mean,
-    )
+    return summarize_latencies(durations, proposal_mean=proposal_mean)

@@ -34,11 +34,16 @@ class Module:
     Child modules and parameters assigned as attributes are registered
     automatically, supporting recursive parameter collection, train/eval
     mode propagation, and ``state_dict`` persistence (numpy ``.npz``).
+    Non-trainable state that must survive checkpointing (batch-norm
+    running statistics, for instance) is declared with
+    :meth:`register_buffer` and travels with the parameters through
+    ``state_dict``/``load_state_dict``.
     """
 
     def __init__(self):
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "training", True)
 
     def __setattr__(self, key: str, value) -> None:
@@ -46,7 +51,43 @@ class Module:
             self._parameters[key] = value
         elif isinstance(value, Module):
             self._modules[key] = value
+        elif key in self.__dict__.get("_buffers", ()):
+            value = np.asarray(value)
+            self._buffers[key] = value
         object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Buffers (persistent non-trainable state)
+    # ------------------------------------------------------------------
+    def register_buffer(self, name: str, value) -> np.ndarray:
+        """Register ``value`` as a persistent non-trainable array.
+
+        The buffer is exposed as a plain attribute; re-assigning the
+        attribute (``self.running_mean = ...``) keeps the registry in
+        sync, so exponential-average updates need no special casing.
+        """
+        value = np.asarray(value)
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+        return value
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs recursively."""
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def buffers(self) -> List[np.ndarray]:
+        """Return all registered buffers of this module tree."""
+        return [buffer for _, buffer in self.named_buffers()]
+
+    def _named_buffer_owners(self, prefix: str = ""):
+        """Yield ``(dotted_name, owning_module, attribute)`` triples."""
+        for name in self._buffers:
+            yield (f"{prefix}{name}", self, name)
+        for name, module in self._modules.items():
+            yield from module._named_buffer_owners(prefix=f"{prefix}{name}.")
 
     # ------------------------------------------------------------------
     # Parameter access
@@ -93,22 +134,31 @@ class Module:
     # Persistence
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Snapshot all parameters (copies) keyed by dotted names."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Snapshot all parameters and buffers (copies), dotted-keyed."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update({name: buffer.copy() for name, buffer in self.named_buffers()})
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values atomically.
+        """Load parameter and buffer values atomically.
 
-        Every problem is gathered before any parameter is touched, so a
+        Every problem is gathered before any state is touched, so a
         bad snapshot can never leave the module half-loaded: missing and
         unexpected keys raise ``StateDictKeyError`` (a ``KeyError``)
         listing both sets, and shape mismatches raise
         ``StateDictShapeError`` (a ``ValueError``) listing every
         offending entry — silent numpy broadcasting never happens.
+        Parameters are converted to the active default dtype; buffers
+        keep the snapshot's dtype so resume stays bit-exact.
         """
         own = dict(self.named_parameters())
-        missing = sorted(set(own) - set(state))
-        unexpected = sorted(set(state) - set(own))
+        buffer_owners = {
+            name: (module, attr) for name, module, attr in self._named_buffer_owners()
+        }
+        own_buffers = dict(self.named_buffers())
+        known = set(own) | set(own_buffers)
+        missing = sorted(known - set(state))
+        unexpected = sorted(set(state) - known)
         if missing or unexpected:
             parts = []
             if missing:
@@ -121,10 +171,16 @@ class Module:
         converted = {
             name: np.asarray(state[name], dtype=get_default_dtype()) for name in own
         }
+        converted_buffers = {name: np.asarray(state[name]) for name in own_buffers}
         mismatched = [
             f"{name}: expected {param.shape}, got {converted[name].shape}"
             for name, param in own.items()
             if converted[name].shape != param.shape
+        ]
+        mismatched += [
+            f"{name}: expected {buffer.shape}, got {converted_buffers[name].shape}"
+            for name, buffer in own_buffers.items()
+            if converted_buffers[name].shape != buffer.shape
         ]
         if mismatched:
             raise StateDictShapeError(
@@ -132,6 +188,8 @@ class Module:
             )
         for name, param in own.items():
             param.data[...] = converted[name]
+        for name, (module, attr) in buffer_owners.items():
+            setattr(module, attr, converted_buffers[name].copy())
 
     def save(self, path: str) -> None:
         """Serialise the parameters to an ``.npz`` file."""

@@ -12,7 +12,10 @@ class BatchNorm2d(Module):
     """Batch normalisation over NCHW activations.
 
     Tracks running statistics for eval mode with exponential averaging,
-    matching the standard formulation used by ResNet backbones.
+    matching the standard formulation used by ResNet backbones.  The
+    running statistics are registered buffers, so they persist through
+    ``state_dict``/``load_state_dict`` and checkpoint/resume reproduces
+    eval-mode predictions bit-exactly.
     """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
@@ -22,8 +25,8 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.weight = Parameter(np.ones(num_features))
         self.bias = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:

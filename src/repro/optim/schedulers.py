@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Dict
 
 from repro.optim.optimizers import Optimizer
 
@@ -23,6 +24,34 @@ class _Scheduler:
 
     def compute_lr(self, step: int) -> float:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Persistence (checkpoint/resume support)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Snapshot the schedule position so resume continues the decay."""
+        return {
+            "type": type(self).__name__,
+            "step_count": self.step_count,
+            "base_lr": self.base_lr,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state written by :meth:`state_dict`.
+
+        Re-applies the schedule at the restored step so the optimiser's
+        learning rate matches the uninterrupted run, instead of
+        restarting the decay from step 0.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"scheduler state is for {state.get('type')!r}, "
+                f"cannot load into {type(self).__name__}"
+            )
+        self.base_lr = float(state["base_lr"])
+        self.step_count = int(state["step_count"])
+        if self.step_count > 0:
+            self.optimizer.lr = self.compute_lr(self.step_count)
 
 
 class ConstantLR(_Scheduler):

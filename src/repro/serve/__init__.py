@@ -1,0 +1,24 @@
+"""Serving layer: micro-batched, cached, instrumented grounding inference.
+
+``ServeEngine`` queues incoming (image, query) requests, batches them
+dynamically (up to ``max_batch`` requests or ``max_wait`` seconds), runs
+one ``no_grad`` forward per batch through any grounder implementing the
+batch protocol, and answers repeats from an LRU cache.  ``ServerStats``
+reports p50/p95/p99 latency, throughput, queue depth, cache hit rate,
+and the batch-size histogram.
+"""
+
+from repro.serve.cache import LRUCache, image_digest
+from repro.serve.engine import ServeEngine
+from repro.serve.stats import ServerStats, StatsRecorder
+from repro.serve.trace import TraceRequest, synthetic_trace
+
+__all__ = [
+    "LRUCache",
+    "image_digest",
+    "ServeEngine",
+    "ServerStats",
+    "StatsRecorder",
+    "TraceRequest",
+    "synthetic_trace",
+]

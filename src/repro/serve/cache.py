@@ -1,0 +1,66 @@
+"""LRU result cache for the serving engine.
+
+Cache keys combine a content digest of the image with the raw query
+string, so two requests for the same pixels and words share one entry
+no matter which array object carries them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+import numpy as np
+
+
+def image_digest(image: np.ndarray) -> str:
+    """Content hash of an image array (dtype- and shape-sensitive)."""
+    array = np.ascontiguousarray(image)
+    digest = hashlib.sha1()
+    digest.update(str(array.dtype).encode("ascii"))
+    digest.update(str(array.shape).encode("ascii"))
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class LRUCache:
+    """A bounded mapping that evicts the least-recently-used entry.
+
+    ``get`` refreshes recency; ``put`` inserts (or refreshes) and evicts
+    from the cold end once ``capacity`` is exceeded.  ``capacity == 0``
+    disables caching entirely (every ``get`` misses).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert ``value``, evicting the coldest entries past capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

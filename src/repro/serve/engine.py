@@ -1,0 +1,254 @@
+"""Micro-batching inference engine — the serving layer over any grounder.
+
+Requests enter a queue; a worker thread collects up to ``max_batch`` of
+them (waiting at most ``max_wait`` seconds after the first arrival) and
+runs ONE batched forward pass under ``no_grad`` through the wrapped
+grounder.  Repeated (image, query) pairs are answered from an LRU cache
+without touching the model at all.  Every request's latency, every
+batch's size, and the queue depth are recorded into a
+:class:`repro.serve.stats.StatsRecorder`.
+
+Any object implementing the repo's batch-grounder protocol works:
+``grounder(samples) -> (n, 4) boxes`` over :class:`GroundingSample`
+lists — :class:`repro.core.Grounder` (true batched forward) and
+:class:`repro.twostage.TwoStageGrounder` (per-sample internally, but
+still cached and instrumented) both qualify.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.data.refcoco import GroundingSample
+from repro.serve.cache import LRUCache, image_digest
+from repro.serve.stats import ServerStats, StatsRecorder
+from repro.text.tokenizer import tokenize
+
+#: Queue sentinel that tells the worker to drain out.
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Pending:
+    """One queued request awaiting its batch."""
+
+    sample: GroundingSample
+    key: Tuple[str, str]
+    future: Future
+    enqueued: float
+
+
+def _make_sample(image: np.ndarray, query: str) -> GroundingSample:
+    """Wrap a raw request into the sample type grounders consume."""
+    return GroundingSample(
+        image=image,
+        query=query,
+        tokens=tokenize(query),
+        target_box=np.zeros(4),
+        target_index=-1,
+        scene=None,
+        split="serve",
+    )
+
+
+class ServeEngine:
+    """Serve grounding requests with dynamic micro-batching and caching.
+
+    Parameters
+    ----------
+    grounder:
+        Any batch grounder (``samples -> (n, 4) boxes``).
+    max_batch:
+        Largest batch one forward pass may carry.
+    max_wait:
+        Seconds the worker waits after the first queued request for
+        stragglers before running a partial batch.  Zero still batches
+        whatever has already accumulated in the queue (burst traffic
+        fills batches without ever sleeping).
+    cache_size:
+        LRU entries for (image digest, query) -> box; 0 disables.
+
+    Use as a context manager, or call :meth:`start`/:meth:`stop`.
+    ``submit`` starts the worker lazily, so the one-liner
+    ``Grounder(...).serve().ground(image, "red dog")`` also works.
+    """
+
+    def __init__(
+        self,
+        grounder: Callable[[Sequence[GroundingSample]], np.ndarray],
+        max_batch: int = 16,
+        max_wait: float = 0.002,
+        cache_size: int = 256,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.grounder = grounder
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._queue: "queue.Queue" = queue.Queue()
+        self._cache = LRUCache(cache_size)
+        self._cache_lock = threading.Lock()
+        self._recorder = StatsRecorder()
+        self._thread: threading.Thread = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ServeEngine":
+        if not self.running:
+            self._thread = threading.Thread(
+                target=self._worker, name="serve-engine", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain queued requests, then stop the worker thread."""
+        if not self.running:
+            return
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServeEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray, query: str) -> Future:
+        """Enqueue one request; returns a future resolving to a (4,) box."""
+        self.start()
+        now = time.perf_counter()
+        self._recorder.record_request()
+        key = (image_digest(image), str(query))
+        with self._cache_lock:
+            cached = self._cache.get(key)
+        future: Future = Future()
+        if cached is not None:
+            self._recorder.record_completion(time.perf_counter() - now, hit=True)
+            future.set_result(np.array(cached, copy=True))
+            return future
+        self._queue.put(_Pending(_make_sample(image, query), key, future, now))
+        return future
+
+    def ground(self, image: np.ndarray, query: str, timeout: float = 60.0) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(image, query).result(timeout=timeout)
+
+    def ground_many(
+        self, requests: Iterable, timeout: float = 300.0
+    ) -> np.ndarray:
+        """Submit a burst of requests and gather the boxes in order.
+
+        ``requests`` yields objects with ``image`` and ``query``
+        attributes (e.g. :class:`repro.serve.TraceRequest`) or
+        ``(image, query)`` tuples.
+        """
+        futures = []
+        for request in requests:
+            if hasattr(request, "image"):
+                image, query = request.image, request.query
+            else:
+                image, query = request
+            futures.append(self.submit(image, query))
+        return np.stack([future.result(timeout=timeout) for future in futures])
+
+    def stats(self) -> ServerStats:
+        """Snapshot of throughput, latency, cache, and batching telemetry."""
+        return self._recorder.snapshot()
+
+    def reset_stats(self) -> None:
+        self._recorder.reset()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _collect_batch(self, first: _Pending) -> Tuple[List[_Pending], bool]:
+        """Gather up to ``max_batch`` requests, waiting at most ``max_wait``."""
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait
+        keep_running = True
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                keep_running = False
+                break
+            batch.append(item)
+        return batch, keep_running
+
+    def _resolve(self, pending: _Pending, box: np.ndarray, hit: bool) -> None:
+        latency = time.perf_counter() - pending.enqueued
+        self._recorder.record_completion(latency, hit=hit)
+        pending.future.set_result(np.array(box, copy=True))
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        depth = self._queue.qsize()
+        # Re-check the cache at execution time (a request queued during a
+        # burst may have been answered by an earlier batch by now) and
+        # collapse identical in-flight requests onto one forward slot.
+        groups: "dict[Tuple[str, str], List[_Pending]]" = {}
+        for pending in batch:
+            with self._cache_lock:
+                cached = self._cache.get(pending.key)
+            if cached is not None:
+                self._resolve(pending, cached, hit=True)
+                continue
+            groups.setdefault(pending.key, []).append(pending)
+        if not groups:
+            return
+        samples = [group[0].sample for group in groups.values()]
+        try:
+            with no_grad():
+                boxes = np.asarray(self.grounder(samples), dtype=np.float64)
+            boxes = boxes.reshape(len(samples), 4)
+        except Exception as exc:  # surface the failure on every waiter
+            for group in groups.values():
+                for pending in group:
+                    pending.future.set_exception(exc)
+            return
+        self._recorder.record_batch(len(samples), depth)
+        with self._cache_lock:
+            for key, box in zip(groups, boxes):
+                stored = np.array(box, copy=True)
+                stored.setflags(write=False)
+                self._cache.put(key, stored)
+        for group, box in zip(groups.values(), boxes):
+            # The first requester paid for the forward pass; in-flight
+            # duplicates were deduplicated, which counts as cache service.
+            for index, pending in enumerate(group):
+                self._resolve(pending, box, hit=index > 0)
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch, keep_running = self._collect_batch(item)
+            self._run_batch(batch)
+            if not keep_running:
+                return

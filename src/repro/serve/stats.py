@@ -1,0 +1,166 @@
+"""Serving telemetry: latency percentiles, throughput, cache/batch stats.
+
+The engine feeds a thread-safe :class:`StatsRecorder` as requests flow
+through it; :meth:`StatsRecorder.snapshot` condenses the raw samples
+into an immutable :class:`ServerStats` report.  Latency summarisation
+reuses :class:`repro.eval.timing.TimingReport`, so serving numbers are
+directly comparable with the Table-5 timing path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.eval.timing import TimingReport, summarize_latencies
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One snapshot of a serving engine's counters and distributions."""
+
+    requests: int
+    completed: int
+    cache_hits: int
+    cache_misses: int
+    batches: int
+    wall_seconds: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    queue_depth_max: int
+    queue_depth_mean: float
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+    timing: TimingReport = field(
+        default_factory=lambda: TimingReport(mean=0.0, std=0.0, num_queries=0)
+    )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * count for size, count in self.batch_histogram.items())
+        return total / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "throughput_qps": self.throughput_qps,
+            "latency_mean": self.timing.mean,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_batch_size": self.mean_batch_size,
+            "queue_depth_max": self.queue_depth_max,
+            "queue_depth_mean": self.queue_depth_mean,
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        histogram = " ".join(
+            f"{size}x{count}" for size, count in sorted(self.batch_histogram.items())
+        )
+        lines = [
+            f"served   {self.completed}/{self.requests} requests in "
+            f"{self.wall_seconds:.3f}s  ({self.throughput_qps:.1f} qps)",
+            f"latency  mean={self.timing.mean * 1e3:.2f}ms  "
+            f"p50={self.latency_p50 * 1e3:.2f}ms  "
+            f"p95={self.latency_p95 * 1e3:.2f}ms  "
+            f"p99={self.latency_p99 * 1e3:.2f}ms",
+            f"cache    hits={self.cache_hits} misses={self.cache_misses} "
+            f"hit-rate={self.cache_hit_rate * 100:.1f}%",
+            f"batches  {self.batches} run, mean size {self.mean_batch_size:.1f}"
+            + (f", sizes {histogram}" if histogram else ""),
+            f"queue    depth max={self.queue_depth_max} "
+            f"mean={self.queue_depth_mean:.1f}",
+        ]
+        return "\n".join(lines)
+
+
+class StatsRecorder:
+    """Thread-safe accumulator behind :class:`ServerStats`."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._requests = 0
+            self._completed = 0
+            self._hits = 0
+            self._misses = 0
+            self._latencies: List[float] = []
+            self._batch_sizes: List[int] = []
+            self._queue_depths: List[int] = []
+            self._first_request: float = 0.0
+            self._last_completion: float = 0.0
+
+    def record_request(self) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            if self._requests == 0:
+                self._first_request = now
+            self._requests += 1
+
+    def record_completion(self, latency: float, hit: bool) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self._completed += 1
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+            self._latencies.append(float(latency))
+            self._last_completion = now
+
+    def record_batch(self, size: int, queue_depth: int) -> None:
+        with self._lock:
+            self._batch_sizes.append(int(size))
+            self._queue_depths.append(int(queue_depth))
+
+    def snapshot(self) -> ServerStats:
+        with self._lock:
+            latencies = list(self._latencies)
+            batch_sizes = list(self._batch_sizes)
+            depths = list(self._queue_depths)
+            requests, completed = self._requests, self._completed
+            hits, misses = self._hits, self._misses
+            wall = max(0.0, self._last_completion - self._first_request)
+        if latencies:
+            p50, p95, p99 = (
+                float(v) for v in np.percentile(latencies, [50.0, 95.0, 99.0])
+            )
+        else:
+            p50 = p95 = p99 = 0.0
+        histogram: Dict[int, int] = {}
+        for size in batch_sizes:
+            histogram[size] = histogram.get(size, 0) + 1
+        return ServerStats(
+            requests=requests,
+            completed=completed,
+            cache_hits=hits,
+            cache_misses=misses,
+            batches=len(batch_sizes),
+            wall_seconds=wall,
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
+            queue_depth_max=max(depths) if depths else 0,
+            queue_depth_mean=float(np.mean(depths)) if depths else 0.0,
+            batch_histogram=histogram,
+            timing=summarize_latencies(latencies),
+        )

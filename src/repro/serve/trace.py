@@ -1,0 +1,53 @@
+"""Synthetic traffic traces: bursty request streams with repeat queries.
+
+Real grounding traffic repeats itself — popular images and phrasings
+recur — which is what makes a result cache pay off.  ``synthetic_trace``
+models that with a tunable repeat fraction over a sample pool, seeded
+through the repo's deterministic RNG spawner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.refcoco import GroundingSample
+from repro.utils.seeding import spawn_rng
+
+
+@dataclass
+class TraceRequest:
+    """One incoming request: raw pixels plus a free-form query."""
+
+    image: np.ndarray
+    query: str
+
+
+def synthetic_trace(
+    samples: Sequence[GroundingSample],
+    num_requests: int,
+    repeat_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+) -> List[TraceRequest]:
+    """Build a deterministic request trace over a sample pool.
+
+    Each request is, with probability ``repeat_fraction``, an exact
+    repeat of an earlier request in the trace (a cache-hittable
+    duplicate); otherwise a fresh draw from ``samples``.
+    """
+    if not samples:
+        raise ValueError("synthetic_trace needs a non-empty sample pool")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1]")
+    rng = rng if rng is not None else spawn_rng("serve-trace")
+    trace: List[TraceRequest] = []
+    for _ in range(num_requests):
+        if trace and rng.random() < repeat_fraction:
+            earlier = trace[int(rng.integers(len(trace)))]
+            trace.append(TraceRequest(image=earlier.image, query=earlier.query))
+        else:
+            sample = samples[int(rng.integers(len(samples)))]
+            trace.append(TraceRequest(image=sample.image, query=sample.query))
+    return trace

@@ -112,3 +112,30 @@ class TestPretraining:
         a = dict(first.named_parameters())
         b = dict(second.named_parameters())
         assert all(np.allclose(a[k].data, b[k].data) for k in a)
+
+    def test_cache_miss_does_not_perturb_global_rng(self, tmp_path):
+        # Regression: the pretrain head used to draw its initial weights
+        # from the process-global generator, which only the cache-miss
+        # path constructs — so a cold-cache run and a warm-cache run of
+        # the same seed produced entirely different downstream models.
+        from repro.utils import get_rng, seed_everything
+
+        seed_everything(0)
+        cold = load_pretrained_backbone("tiny", steps=2, cache_dir=str(tmp_path))
+        after_cold = get_rng().random(8)
+
+        seed_everything(0)
+        warm = load_pretrained_backbone("tiny", steps=2, cache_dir=str(tmp_path))
+        after_warm = get_rng().random(8)
+
+        assert np.array_equal(after_cold, after_warm)
+        a, b = cold.state_dict(), warm.state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_cache_roundtrips_buffers(self, tmp_path):
+        # BatchNorm running statistics must survive the pretrain cache.
+        first = load_pretrained_backbone("tiny-bn", steps=2, cache_dir=str(tmp_path))
+        second = load_pretrained_backbone("tiny-bn", steps=2, cache_dir=str(tmp_path))
+        a, b = dict(first.named_buffers()), dict(second.named_buffers())
+        assert a and set(a) == set(b)
+        assert all(np.array_equal(a[k], b[k]) for k in a)

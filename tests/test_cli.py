@@ -30,6 +30,12 @@ class TestParser:
         args = build_parser().parse_args(["ground", "--model", "m.npz"])
         assert args.query is None
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.requests == 128
+        assert args.max_batch == 16
+        assert args.model is None
+
 
 class TestEndToEnd:
     def test_train_then_evaluate_then_ground(self, tmp_path, capsys, monkeypatch):

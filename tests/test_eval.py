@@ -28,6 +28,15 @@ class TestMetrics:
         ious = np.array([0.4, 0.6, 0.9])
         assert accuracy_at_iou(ious, 0.5) == pytest.approx(2 / 3)
 
+    def test_accuracy_threshold_is_inclusive(self):
+        # Regression: ACC@eta is the fraction with IoU >= eta; a strict
+        # comparison used to count a prediction at exactly the threshold
+        # as a miss.
+        ious = np.array([0.5, 0.75, 0.3])
+        assert accuracy_at_iou(ious, 0.5) == pytest.approx(2 / 3)
+        assert accuracy_at_iou(ious, 0.75) == pytest.approx(1 / 3)
+        assert accuracy_at_iou(np.array([0.5]), 0.5) == 1.0
+
     def test_accuracy_empty(self):
         assert accuracy_at_iou(np.array([])) == 0.0
         assert mean_iou(np.array([])) == 0.0
@@ -46,6 +55,30 @@ class TestMetrics:
     def test_pairwise_shape_mismatch(self):
         with pytest.raises(ValueError):
             pairwise_ious(np.zeros((2, 4)), np.zeros((3, 4)))
+
+    def test_pairwise_matches_per_pair_iou_matrix(self):
+        # The vectorised pass must agree with the per-pair reference
+        # (the old implementation: one 1x1 iou_matrix call per sample).
+        from repro.detection import iou_matrix
+
+        rng = np.random.default_rng(5)
+        corners = rng.uniform(0.0, 40.0, size=(64, 2, 2))
+        predicted = np.concatenate(
+            [corners.min(axis=1), corners.min(axis=1) + rng.uniform(0.1, 20.0, (64, 2))],
+            axis=1,
+        )
+        corners = rng.uniform(0.0, 40.0, size=(64, 2, 2))
+        targets = np.concatenate(
+            [corners.min(axis=1), corners.min(axis=1) + rng.uniform(0.1, 20.0, (64, 2))],
+            axis=1,
+        )
+        reference = np.array(
+            [iou_matrix(p[None], t[None])[0, 0] for p, t in zip(predicted, targets)]
+        )
+        assert np.allclose(pairwise_ious(predicted, targets), reference)
+
+    def test_pairwise_empty(self):
+        assert pairwise_ious(np.empty((0, 4)), np.empty((0, 4))).shape == (0,)
 
     def test_evaluate_perfect_grounder(self, dataset):
         perfect = lambda samples: np.stack([s.target_box for s in samples])

@@ -101,3 +101,72 @@ def test_sequential_indexing_and_len():
     assert len(seq) == 2
     assert isinstance(seq[1], Linear)
     assert seq(Tensor(np.ones((1, 2)))).shape == (1, 4)
+
+
+# ----------------------------------------------------------------------
+# Buffers (persistent non-trainable state)
+# ----------------------------------------------------------------------
+class Stateful(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3))
+        self.register_buffer("counter", np.zeros(3))
+
+
+class StatefulParent(Module):
+    def __init__(self):
+        super().__init__()
+        self.child = Stateful()
+        self.register_buffer("offset", np.full(2, 5.0))
+
+
+class TestBuffers:
+    def test_named_buffers_recursive(self):
+        names = dict(StatefulParent().named_buffers())
+        assert set(names) == {"offset", "child.counter"}
+
+    def test_buffers_not_parameters(self):
+        model = StatefulParent()
+        assert {name for name, _ in model.named_parameters()} == {"child.weight"}
+        assert len(model.buffers()) == 2
+
+    def test_reassignment_keeps_registry_in_sync(self):
+        model = Stateful()
+        model.counter = model.counter + 7.0  # exponential-average style update
+        assert np.allclose(dict(model.named_buffers())["counter"], 7.0)
+        assert np.allclose(model.state_dict()["counter"], 7.0)
+
+    def test_state_dict_includes_buffers_and_roundtrips(self):
+        a, b = StatefulParent(), StatefulParent()
+        a.child.counter = np.array([1.0, 2.0, 3.0])
+        a.offset = np.array([8.0, 9.0])
+        b.load_state_dict(a.state_dict())
+        assert np.array_equal(b.child.counter, [1.0, 2.0, 3.0])
+        assert np.array_equal(b.offset, [8.0, 9.0])
+
+    def test_state_dict_returns_buffer_copies(self):
+        model = StatefulParent()
+        state = model.state_dict()
+        state["offset"][:] = -1.0
+        assert model.offset[0] == 5.0
+
+    def test_missing_buffer_key_rejected(self):
+        state = StatefulParent().state_dict()
+        del state["child.counter"]
+        with pytest.raises(KeyError):
+            StatefulParent().load_state_dict(state)
+
+    def test_buffer_shape_mismatch_rejected(self):
+        state = StatefulParent().state_dict()
+        state["offset"] = np.zeros(9)
+        with pytest.raises(ValueError):
+            StatefulParent().load_state_dict(state)
+
+    def test_buffers_survive_npz_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "model.npz")
+        a = StatefulParent()
+        a.child.counter = np.array([4.0, 5.0, 6.0])
+        a.save(path)
+        b = StatefulParent()
+        b.load(path)
+        assert np.array_equal(b.child.counter, [4.0, 5.0, 6.0])

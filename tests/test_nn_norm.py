@@ -36,6 +36,28 @@ class TestBatchNorm2d:
         )
         assert np.allclose(out, expected)
 
+    def test_running_stats_are_registered_buffers(self):
+        bn = BatchNorm2d(2)
+        assert set(dict(bn.named_buffers())) == {"running_mean", "running_var"}
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_running_stats_survive_state_dict_roundtrip(self):
+        # Regression: running statistics used to be plain attributes
+        # silently dropped from checkpoints, so a restored model's
+        # eval-mode predictions diverged from the original.
+        source = BatchNorm2d(2)
+        for seed in range(10):
+            source(make((8, 2, 3, 3), seed))
+        restored = BatchNorm2d(2)
+        restored.load_state_dict(source.state_dict())
+        assert np.array_equal(restored.running_mean, source.running_mean)
+        assert np.array_equal(restored.running_var, source.running_var)
+        source.eval()
+        restored.eval()
+        x = make((2, 2, 3, 3), 99)
+        assert np.array_equal(source(x).data, restored(x).data)
+
     def test_rejects_non_4d(self):
         with pytest.raises(ValueError):
             BatchNorm2d(2)(make((3, 2)))

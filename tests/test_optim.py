@@ -115,3 +115,33 @@ class TestSchedulers:
         opt = SGD([quadratic_param()], lr=1.0)
         with pytest.raises(ValueError):
             WarmupCosineLR(opt, warmup_steps=5, total_steps=5)
+
+    @pytest.mark.parametrize("make_sched", [
+        lambda opt: StepLR(opt, step_size=2, gamma=0.5),
+        lambda opt: WarmupCosineLR(opt, warmup_steps=2, total_steps=12),
+    ])
+    def test_state_dict_resumes_schedule_position(self, make_sched):
+        # Regression: schedulers used to restart from step 0 on resume,
+        # replaying the warmup/decay from scratch.
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = make_sched(opt)
+        for _ in range(5):
+            sched.step()
+        snapshot = sched.state_dict()
+        straight = [sched.step() for _ in range(5)]
+
+        fresh_opt = SGD([quadratic_param()], lr=1.0)
+        fresh = make_sched(fresh_opt)
+        fresh.load_state_dict(snapshot)
+        assert fresh.step_count == 5
+        assert fresh_opt.lr == pytest.approx(sched.compute_lr(5))
+        resumed = [fresh.step() for _ in range(5)]
+        assert resumed == straight
+
+    def test_cross_type_scheduler_load_rejected(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        step = StepLR(opt, step_size=2)
+        cosine = WarmupCosineLR(SGD([quadratic_param()], lr=1.0),
+                                warmup_steps=2, total_steps=10)
+        with pytest.raises(ValueError):
+            cosine.load_state_dict(step.state_dict())

@@ -71,17 +71,17 @@ def make_toy_task(total: int = 20, lr: float = 0.1):
     return task, param, losses
 
 
-def make_yollo_trainer(seed: int = 7):
+def make_yollo_trainer(seed: int = 7, backbone: str = "tiny", scheduler=None):
     """A tiny but real YOLLO trainer (used for the kill/resume tests)."""
     seed_everything(seed)
     dataset = build_dataset(REFCOCO.scaled(0.03))
     cfg = YolloConfig(
-        backbone="tiny", d_model=16, d_rel=24, ffn_hidden=24, head_hidden=24,
+        backbone=backbone, d_model=16, d_rel=24, ffn_hidden=24, head_hidden=24,
         num_rel2att=2, batch_size=4,
         max_query_length=max(6, dataset.max_query_length),
     )
     model = YolloModel(cfg, vocab_size=len(dataset.vocab))
-    return YolloTrainer(model, dataset, cfg)
+    return YolloTrainer(model, dataset, cfg, scheduler=scheduler)
 
 
 # ----------------------------------------------------------------------
@@ -392,6 +392,95 @@ class TestKillResumeEquivalence:
         assert report.skipped_steps == 1
         assert report.checkpoint_failures == 0
         assert all(np.isfinite(p.data).all() for p in trainer.model.parameters())
+
+    def test_bn_backbone_resume_reproduces_eval_predictions(self, tmp_path):
+        """Kill/resume with BatchNorm running statistics is bit-exact.
+
+        Regression: ``running_mean``/``running_var`` used to be plain
+        attributes outside ``state_dict``, so the resumed model carried
+        fresh statistics and its eval-mode predictions silently diverged
+        from the uninterrupted run.
+        """
+        straight = make_yollo_trainer(seed=7, backbone="tiny-bn")
+        straight.begin_run(iterations=self.TOTAL)
+        while straight.iteration < straight.total_iterations:
+            straight.apply_step(straight.forward_backward())
+
+        killed = make_yollo_trainer(seed=7, backbone="tiny-bn")
+        killed.begin_run(iterations=self.TOTAL)
+        supervisor = TrainingSupervisor(
+            killed, checkpoint_dir=str(tmp_path), checkpoint_every=2,
+            fault_plan=FaultPlan(crash_at_iteration=self.KILL_AT),
+        )
+        with pytest.raises(SimulatedCrash):
+            supervisor.run()
+
+        resumed = make_yollo_trainer(seed=7, backbone="tiny-bn")
+        resumed.begin_run(iterations=self.TOTAL)
+        TrainingSupervisor(resumed, checkpoint_dir=str(tmp_path),
+                           checkpoint_every=2, resume=True).run()
+
+        # The running statistics themselves must round-trip ...
+        straight_buffers = dict(straight.model.named_buffers())
+        resumed_buffers = dict(resumed.model.named_buffers())
+        assert straight_buffers  # the BN backbone actually has buffers
+        for name, buffer in straight_buffers.items():
+            assert np.array_equal(buffer, resumed_buffers[name]), name
+
+        # ... and eval-mode predictions must be IDENTICAL, bit for bit.
+        subset = list(straight.dataset["val"][:8])
+        straight.model.eval()
+        resumed.model.eval()
+        assert np.array_equal(
+            straight.grounder.ground_batch(subset),
+            resumed.grounder.ground_batch(subset),
+        )
+
+    def test_scheduler_resume_continues_decay(self, tmp_path):
+        """Resume restores the LR-schedule position, not step 0.
+
+        Regression: ``_Scheduler`` had no ``state_dict``, so a resumed
+        ``StepLR`` replayed its decay from scratch and the post-resume
+        trajectory diverged from the uninterrupted run.
+        """
+        from repro.optim import StepLR
+
+        factory = lambda opt: StepLR(opt, step_size=3, gamma=0.5)
+
+        straight = make_yollo_trainer(seed=7, scheduler=factory)
+        straight.begin_run(iterations=self.TOTAL)
+        while straight.iteration < straight.total_iterations:
+            straight.apply_step(straight.forward_backward())
+
+        killed = make_yollo_trainer(seed=7, scheduler=factory)
+        killed.begin_run(iterations=self.TOTAL)
+        supervisor = TrainingSupervisor(
+            killed, checkpoint_dir=str(tmp_path), checkpoint_every=2,
+            fault_plan=FaultPlan(crash_at_iteration=self.KILL_AT),
+        )
+        with pytest.raises(SimulatedCrash):
+            supervisor.run()
+
+        resumed = make_yollo_trainer(seed=7, scheduler=factory)
+        resumed.begin_run(iterations=self.TOTAL)
+        TrainingSupervisor(resumed, checkpoint_dir=str(tmp_path),
+                           checkpoint_every=2, resume=True).run()
+
+        assert resumed.scheduler.step_count == straight.scheduler.step_count
+        assert resumed.optimizer.lr == straight.optimizer.lr
+        assert resumed.history.losses == straight.history.losses
+
+    def test_scheduler_mismatch_refuses_load(self):
+        from repro.optim import StepLR
+
+        with_sched = make_yollo_trainer(
+            seed=7, scheduler=lambda opt: StepLR(opt, step_size=3)
+        )
+        without = make_yollo_trainer(seed=7)
+        with pytest.raises(ValueError, match="scheduler"):
+            without.load_state_dict(with_sched.state_dict())
+        with pytest.raises(ValueError, match="scheduler"):
+            with_sched.load_state_dict(without.state_dict())
 
     def test_fingerprint_mismatch_refuses_cross_config_resume(self, tmp_path):
         trainer = make_yollo_trainer(seed=7)

@@ -1,0 +1,265 @@
+"""Serving engine: micro-batching, LRU cache, telemetry, traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grounder, YolloConfig, YolloModel
+from repro.data import REFCOCO, build_dataset
+from repro.serve import (
+    LRUCache,
+    ServeEngine,
+    ServerStats,
+    TraceRequest,
+    image_digest,
+    synthetic_trace,
+)
+from repro.utils import seed_everything
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+class StubGrounder:
+    """Deterministic grounder that records every batch it is handed."""
+
+    def __init__(self, fail=False):
+        self.batches = []
+        self.fail = fail
+
+    def __call__(self, samples):
+        if self.fail:
+            raise RuntimeError("model exploded")
+        self.batches.append(len(samples))
+        return np.stack(
+            [
+                np.array([s.image.sum(), len(s.tokens), 1.0, 2.0])
+                for s in samples
+            ]
+        )
+
+
+def make_image(value, shape=(3, 4, 6)):
+    return np.full(shape, float(value))
+
+
+@pytest.fixture(scope="module")
+def tiny_grounder():
+    seed_everything(11)
+    dataset = build_dataset(REFCOCO.scaled(0.05))
+    cfg = YolloConfig(
+        backbone="tiny", d_model=16, d_rel=24, ffn_hidden=24, head_hidden=24,
+        num_rel2att=2, max_query_length=max(6, dataset.max_query_length),
+    )
+    model = YolloModel(cfg, vocab_size=len(dataset.vocab))
+    model.eval()
+    return Grounder(model, dataset.vocab), dataset
+
+
+# ----------------------------------------------------------------------
+# LRU cache
+# ----------------------------------------------------------------------
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1 and "a" in cache
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now coldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_image_digest_content_sensitive(self):
+        a = make_image(1.0)
+        assert image_digest(a) == image_digest(a.copy())
+        assert image_digest(a) != image_digest(make_image(2.0))
+        assert image_digest(a) != image_digest(a.astype(np.float32))
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour (stub grounder)
+# ----------------------------------------------------------------------
+class TestServeEngine:
+    def test_all_requests_resolve_with_correct_results(self):
+        stub = StubGrounder()
+        with ServeEngine(stub, max_batch=4, max_wait=0.001) as engine:
+            futures = [
+                engine.submit(make_image(i), f"query {i}") for i in range(10)
+            ]
+            boxes = [f.result(timeout=10) for f in futures]
+        for i, box in enumerate(boxes):
+            assert box[0] == pytest.approx(make_image(i).sum())
+        assert all(size <= 4 for size in stub.batches)
+        assert sum(stub.batches) == 10  # every unique request computed once
+
+    def test_ground_many_preserves_order(self):
+        stub = StubGrounder()
+        requests = [TraceRequest(make_image(i), f"q{i}") for i in range(7)]
+        with ServeEngine(stub, max_batch=3) as engine:
+            boxes = engine.ground_many(requests)
+        assert boxes.shape == (7, 4)
+        for i in range(7):
+            assert boxes[i, 0] == pytest.approx(make_image(i).sum())
+
+    def test_partial_batch_flushes_after_max_wait(self):
+        stub = StubGrounder()
+        with ServeEngine(stub, max_batch=64, max_wait=0.01) as engine:
+            box = engine.ground(make_image(3), "lonely request", timeout=10)
+        assert box[0] == pytest.approx(make_image(3).sum())
+        assert stub.batches == [1]
+
+    def test_cache_hit_skips_forward_and_is_byte_identical(self):
+        stub = StubGrounder()
+        image = make_image(5)
+        with ServeEngine(stub, max_batch=4) as engine:
+            first = engine.ground(image, "red dog", timeout=10)
+            second = engine.ground(image, "red dog", timeout=10)
+            stats = engine.stats()
+        assert sum(stub.batches) == 1  # second request never reached the model
+        assert first.tobytes() == second.tobytes()
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.cache_hit_rate == pytest.approx(0.5)
+
+    def test_in_flight_duplicates_deduplicated(self):
+        stub = StubGrounder()
+        image = make_image(9)
+        with ServeEngine(stub, max_batch=8) as engine:
+            futures = [engine.submit(image, "same query") for _ in range(6)]
+            boxes = [f.result(timeout=10) for f in futures]
+            stats = engine.stats()
+        assert sum(stub.batches) == 1  # one forward slot for six requests
+        assert all(b.tobytes() == boxes[0].tobytes() for b in boxes)
+        assert stats.cache_hits == 5 and stats.cache_misses == 1
+
+    def test_cached_result_is_immutable_copy(self):
+        stub = StubGrounder()
+        image = make_image(2)
+        with ServeEngine(stub) as engine:
+            first = engine.ground(image, "q", timeout=10)
+            first[:] = -1.0  # clobbering the returned array ...
+            second = engine.ground(image, "q", timeout=10)
+        assert second[0] == pytest.approx(image.sum())  # ... cannot poison the cache
+
+    def test_cache_disabled_recomputes(self):
+        stub = StubGrounder()
+        image = make_image(4)
+        with ServeEngine(stub, cache_size=0) as engine:
+            engine.ground(image, "q", timeout=10)
+            engine.ground(image, "q", timeout=10)
+            stats = engine.stats()
+        assert sum(stub.batches) == 2
+        assert stats.cache_hits == 0
+
+    def test_grounder_failure_propagates_to_waiters(self):
+        with ServeEngine(StubGrounder(fail=True)) as engine:
+            future = engine.submit(make_image(1), "q")
+            with pytest.raises(RuntimeError, match="model exploded"):
+                future.result(timeout=10)
+
+    def test_stats_snapshot_counts_and_percentiles(self):
+        stub = StubGrounder()
+        with ServeEngine(stub, max_batch=4) as engine:
+            engine.ground_many(
+                [TraceRequest(make_image(i), f"q{i}") for i in range(8)]
+            )
+            stats = engine.stats()
+        assert isinstance(stats, ServerStats)
+        assert stats.requests == 8 and stats.completed == 8
+        assert stats.batches == len(stub.batches)
+        assert stats.latency_p50 <= stats.latency_p95 <= stats.latency_p99
+        assert stats.timing.num_queries == 8
+        assert stats.throughput_qps > 0
+        assert sum(stats.batch_histogram.values()) == stats.batches
+        report = stats.render()
+        assert "qps" in report and "hit-rate" in report
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ServeEngine(StubGrounder(), max_batch=0)
+        with pytest.raises(ValueError):
+            ServeEngine(StubGrounder(), max_wait=-1.0)
+
+    def test_stop_is_idempotent_and_restartable(self):
+        stub = StubGrounder()
+        engine = ServeEngine(stub)
+        engine.stop()  # never started: no-op
+        assert engine.ground(make_image(1), "a", timeout=10) is not None
+        engine.stop()
+        engine.stop()
+        assert engine.ground(make_image(2), "b", timeout=10) is not None
+        engine.stop()
+
+
+# ----------------------------------------------------------------------
+# Synthetic traces
+# ----------------------------------------------------------------------
+class TestSyntheticTrace:
+    def test_deterministic_given_rng(self, tiny_grounder):
+        _, dataset = tiny_grounder
+        pool = list(dataset["val"])
+        a = synthetic_trace(pool, 20, rng=np.random.default_rng(3))
+        b = synthetic_trace(pool, 20, rng=np.random.default_rng(3))
+        assert [r.query for r in a] == [r.query for r in b]
+
+    def test_repeats_present_at_high_fraction(self, tiny_grounder):
+        _, dataset = tiny_grounder
+        pool = list(dataset["val"])
+        trace = synthetic_trace(pool, 50, repeat_fraction=0.9,
+                                rng=np.random.default_rng(0))
+        assert len(trace) == 50
+        keys = [(id(r.image), r.query) for r in trace]
+        assert len(set(keys)) < len(keys)
+
+    def test_validation(self, tiny_grounder):
+        _, dataset = tiny_grounder
+        with pytest.raises(ValueError):
+            synthetic_trace([], 5)
+        with pytest.raises(ValueError):
+            synthetic_trace(list(dataset["val"]), 5, repeat_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# End-to-end with the real YOLLO grounder
+# ----------------------------------------------------------------------
+class TestServeYollo:
+    def test_engine_matches_direct_predictions(self, tiny_grounder):
+        grounder, dataset = tiny_grounder
+        samples = list(dataset["val"])
+        direct = grounder.ground_batch(samples)
+        with grounder.serve(max_batch=4) as engine:
+            served = engine.ground_many(
+                [TraceRequest(s.image, s.query) for s in samples]
+            )
+        assert np.array_equal(served, direct)
+
+    def test_cached_response_byte_identical_to_uncached(self, tiny_grounder):
+        grounder, dataset = tiny_grounder
+        sample = dataset["val"][0]
+        with grounder.serve() as engine:
+            uncached = engine.ground(sample.image, sample.query, timeout=30)
+            cached = engine.ground(sample.image, sample.query, timeout=30)
+            stats = engine.stats()
+        assert uncached.tobytes() == cached.tobytes()
+        assert stats.cache_hits == 1
+
+    def test_model_stays_in_eval_mode_under_serving(self, tiny_grounder):
+        grounder, dataset = tiny_grounder
+        grounder.model.eval()
+        sample = dataset["val"][0]
+        with grounder.serve() as engine:
+            engine.ground(sample.image, sample.query, timeout=30)
+        assert not grounder.model.training
