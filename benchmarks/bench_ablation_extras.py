@@ -10,6 +10,10 @@ from conftest import write_artifact
 
 from repro.eval import format_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 ARMS = (
     ("YOLLO (3 Rel2Att, resnet)", "extra-base", {}),
     ("YOLLO (1 Rel2Att)", "extra-depth1", {"num_rel2att": 1}),

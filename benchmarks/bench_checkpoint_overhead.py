@@ -19,6 +19,10 @@ from repro.eval.reporting import format_table
 from repro.runtime import TrainingSupervisor
 from repro.utils import seed_everything
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 ITERATIONS = 50
 CADENCES = (0, 10, 50)
 

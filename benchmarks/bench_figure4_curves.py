@@ -7,6 +7,10 @@ from repro.core.trainer import TrainingHistory, YolloTrainer
 from repro.data.loader import encode_batch
 from repro.experiments import figure4
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_figure4_curves(context, results_dir, benchmark):
     curves = figure4.collect(context)

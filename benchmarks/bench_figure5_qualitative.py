@@ -8,6 +8,10 @@ from conftest import write_artifact
 from repro.experiments import figure5
 from repro.viz import overlay_attention, render_attention_ascii
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_figure5_qualitative(context, results_dir, benchmark):
     ppm_dir = os.path.join(results_dir, "figure5")

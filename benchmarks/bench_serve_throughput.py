@@ -18,6 +18,10 @@ from repro.data import REFCOCO, build_dataset
 from repro.serve import ServeEngine, synthetic_trace
 from repro.utils import seed_everything, spawn_rng
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 NUM_REQUESTS = 160
 REPEAT_FRACTION = 0.5
 MAX_BATCH = 16

@@ -5,6 +5,10 @@ from conftest import write_artifact
 from repro.data import REFCOCO, build_dataset
 from repro.experiments import table1
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table1_datasets(context, results_dir, benchmark):
     report = table1.run(context)

@@ -4,6 +4,10 @@ from conftest import write_artifact
 
 from repro.experiments import table2
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table2_overall(context, results_dir, benchmark):
     results = table2.collect(context)

@@ -6,6 +6,10 @@ from conftest import write_artifact
 from repro.eval.metrics import accuracy_sweep, pairwise_ious
 from repro.experiments import table3
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table3_metrics(context, results_dir, benchmark):
     results = table3.collect(context)

@@ -6,6 +6,10 @@ from conftest import write_artifact
 from repro.autograd import Tensor, no_grad
 from repro.experiments import table4
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table4_ablation(context, results_dir, benchmark):
     results = table4.collect(context)

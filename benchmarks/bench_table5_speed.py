@@ -4,6 +4,10 @@ from conftest import write_artifact
 
 from repro.experiments import table5
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table5_speed(context, results_dir, benchmark):
     results = table5.collect(context)

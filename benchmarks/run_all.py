@@ -1,0 +1,114 @@
+"""Run every benchmark and consolidate results into one summary JSON.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # everything
+    PYTHONPATH=src python benchmarks/run_all.py --only serve profile
+    REPRO_PRESET=smoke PYTHONPATH=src python benchmarks/run_all.py
+
+Each ``bench_*.py`` file runs in its own pytest process (benchmarks are
+marked ``slow``, so the driver clears the default ``-m "not slow"``
+filter).  The consolidated ``results/summary.json`` records, per
+benchmark, the outcome, wall time, and the artifact files it refreshed —
+the start of a tracked perf trajectory: commit it alongside the
+per-benchmark ``results/*.txt`` baselines and diff across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(BENCH_DIR, "results")
+
+
+def discover(only):
+    paths = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+    if only:
+        paths = [
+            p for p in paths
+            if any(tag in os.path.basename(p) for tag in only)
+        ]
+    return paths
+
+
+def run_benchmark(path: str) -> dict:
+    name = os.path.basename(path)[: -len(".py")]
+    before = {f: os.path.getmtime(os.path.join(RESULTS_DIR, f))
+              for f in os.listdir(RESULTS_DIR)} if os.path.isdir(RESULTS_DIR) else {}
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "-m", "", "-q", "--no-header"],
+        cwd=os.path.dirname(BENCH_DIR),
+        capture_output=True,
+        text=True,
+    )
+    wall = time.perf_counter() - started
+    refreshed = []
+    if os.path.isdir(RESULTS_DIR):
+        for f in sorted(os.listdir(RESULTS_DIR)):
+            full = os.path.join(RESULTS_DIR, f)
+            if os.path.isfile(full) and os.path.getmtime(full) != before.get(f):
+                refreshed.append(f)
+    tail = "\n".join((proc.stdout or "").strip().splitlines()[-4:])
+    return {
+        "benchmark": name,
+        "passed": proc.returncode == 0,
+        "returncode": proc.returncode,
+        "wall_seconds": round(wall, 3),
+        "artifacts": refreshed,
+        "tail": tail,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="substring filters on benchmark file names")
+    parser.add_argument("--out", default=os.path.join(RESULTS_DIR, "summary.json"))
+    args = parser.parse_args(argv)
+
+    paths = discover(args.only)
+    if not paths:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    runs = []
+    for path in paths:
+        name = os.path.basename(path)
+        print(f"[{len(runs) + 1}/{len(paths)}] {name} ...", flush=True)
+        record = run_benchmark(path)
+        status = "ok" if record["passed"] else f"FAILED ({record['returncode']})"
+        print(f"    {status} in {record['wall_seconds']:.1f}s"
+              + (f", wrote {', '.join(record['artifacts'])}" if record["artifacts"] else ""))
+        runs.append(record)
+
+    summary = {
+        "preset": os.environ.get("REPRO_PRESET", "bench"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "total_wall_seconds": round(sum(r["wall_seconds"] for r in runs), 3),
+        "passed": sum(1 for r in runs if r["passed"]),
+        "failed": sum(1 for r in runs if not r["passed"]),
+        "benchmarks": runs,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(f"\n{summary['passed']}/{len(runs)} benchmarks passed; "
+          f"summary written to {args.out}")
+    return 0 if summary["failed"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

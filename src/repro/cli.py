@@ -6,7 +6,10 @@ Usage::
     python -m repro.cli evaluate --dataset RefCOCO --model model.npz
     python -m repro.cli ground --dataset RefCOCO --model model.npz --query "red dog"
     python -m repro.cli serve-bench --dataset RefCOCO --requests 128
+    python -m repro.cli profile --target train-step --out trace.json
     python -m repro.cli tables --preset smoke --only table1 table5
+
+``python -m repro`` is an alias for ``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -177,6 +180,62 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile a train step, an inference batch, or a serve trace.
+
+    Emits a Chrome ``trace_event`` JSON (open in chrome://tracing or
+    Perfetto) and prints the top-K hot-op table from :mod:`repro.obs`.
+    """
+    from repro.obs import profile
+
+    _setup(args)
+    dataset = _build_dataset(args)
+    model, config = _build_model(args, dataset)
+    if args.model:
+        model.load(args.model)
+
+    if args.target == "train-step":
+        from repro.core import YolloTrainer
+
+        trainer = YolloTrainer(model, dataset, config)
+        trainer.begin_run(iterations=args.steps)
+        with profile() as prof:
+            for _ in range(args.steps):
+                loss = trainer.forward_backward()
+                trainer.apply_step(loss)
+    elif args.target == "infer":
+        from repro.core import Grounder
+
+        model.eval()
+        grounder = Grounder(model, dataset.vocab)
+        pool = list(dataset["val"]) or list(dataset["train"])
+        samples = pool[: args.requests]
+        grounder.ground_batch(samples[:1])  # warm allocation paths
+        with profile() as prof:
+            for sample in samples:
+                grounder.ground_batch([sample])
+    else:  # serve
+        from repro.core import Grounder
+        from repro.serve import ServeEngine, synthetic_trace
+
+        model.eval()
+        grounder = Grounder(model, dataset.vocab)
+        pool = list(dataset["val"]) or list(dataset["train"])
+        trace = synthetic_trace(pool, args.requests, repeat_fraction=0.3)
+        grounder.ground(trace[0].image, trace[0].query)  # warm
+        with profile() as prof:
+            with ServeEngine(grounder, max_batch=args.max_batch) as engine:
+                engine.ground_many(trace)
+        print(engine.stats().render())
+        print()
+
+    out = args.out or f"profile-{args.target}.json"
+    prof.export_chrome_trace(out)
+    print(prof.render(top=args.top))
+    print(f"\nwrote Chrome trace to {out} (open in chrome://tracing)")
+    return 0
+
+
 def cmd_tables(args) -> int:
     from repro.experiments import (
         ExperimentContext, figure4, figure5, get_preset,
@@ -254,6 +313,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--cache-size", type=int, default=256,
                              help="LRU result-cache entries (0 disables)")
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    prof = sub.add_parser(
+        "profile",
+        help="op-level profile of a train step, inference, or serving")
+    _add_common(prof)
+    prof.add_argument("--target", default="train-step",
+                      choices=["train-step", "infer", "serve"])
+    prof.add_argument("--model", default=None,
+                      help="checkpoint to profile (default: fresh weights)")
+    prof.add_argument("--backbone", default="tiny")
+    prof.add_argument("--pretrain-steps", type=int, default=1)
+    prof.add_argument("--steps", type=int, default=1,
+                      help="training steps to profile (train-step target)")
+    prof.add_argument("--requests", type=int, default=24,
+                      help="queries to profile (infer/serve targets)")
+    prof.add_argument("--max-batch", type=int, default=16,
+                      help="engine batch bound (serve target)")
+    prof.add_argument("--top", type=int, default=12,
+                      help="rows in the hot-op table")
+    prof.add_argument("--out", default=None,
+                      help="Chrome trace path (default profile-<target>.json)")
+    prof.set_defaults(func=cmd_profile, scale=0.1)
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument("--preset", default=None, choices=["smoke", "bench", "full"])

@@ -22,6 +22,7 @@ import numpy as np
 from repro.autograd import Tensor, concatenate
 from repro.core.config import YolloConfig
 from repro.nn import FeedForward, Module, Parameter, Sequential
+from repro.obs import trace_span
 
 
 def _relation_weight_mask(
@@ -153,6 +154,8 @@ class Rel2AttStack(Module):
         super().__init__()
         self.config = config
         self.blocks = Sequential(*[Rel2AttModule(config) for _ in range(config.num_rel2att)])
+        # Precomputed so the profiling-off path does no string formatting.
+        self._span_names = [f"rel2att.block{i}" for i in range(config.num_rel2att)]
 
     def forward(
         self,
@@ -162,9 +165,10 @@ class Rel2AttStack(Module):
     ) -> Tuple[Tensor, List[Tensor]]:
         attention_masks: List[Tensor] = []
         v, t = image_seq, query_seq
-        for block in self.blocks:
-            attended_v, attended_t, att_v, _ = block(v, t, token_mask)
-            v = v + attended_v
-            t = t + attended_t
+        for block, span_name in zip(self.blocks, self._span_names):
+            with trace_span(span_name):
+                attended_v, attended_t, att_v, _ = block(v, t, token_mask)
+                v = v + attended_v
+                t = t + attended_t
             attention_masks.append(att_v)
         return v, attention_masks

@@ -33,6 +33,7 @@ from repro.data.loader import encode_batch
 from repro.data.refcoco import GroundingDataset
 from repro.eval.curves import TrainingCurve
 from repro.eval.metrics import evaluate_grounder
+from repro.obs import MetricsRegistry, get_registry, trace_span
 from repro.optim import Adam, clip_grad_norm
 from repro.utils.logging import ProgressLogger
 from repro.utils.seeding import spawn_rng
@@ -96,11 +97,14 @@ class YolloTrainer:
         logger: Optional[ProgressLogger] = None,
         rng: Optional[np.random.Generator] = None,
         scheduler: Optional[Callable] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.model = model
         self.dataset = dataset
         self.config = config or model.config
         self.logger = logger or ProgressLogger("yollo-train", enabled=False)
+        #: Registry receiving ``train.*`` metrics (process-wide by default).
+        self.metrics = metrics if metrics is not None else get_registry()
         self._rng = rng if rng is not None else spawn_rng("yollo-trainer")
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         #: Optional LR schedule, built from a factory ``optimizer -> scheduler``
@@ -214,20 +218,23 @@ class YolloTrainer:
         return self._forward_backward_batch(self._next_batch())
 
     def _forward_backward_batch(self, batch: Dict[str, np.ndarray]) -> float:
-        output = self.model(
-            Tensor(batch["images"]), batch["token_ids"], batch["token_mask"]
-        )
-        breakdown = yollo_loss(
-            output.attention_masks,
-            output.cls_logits,
-            output.reg_offsets,
-            batch["target_boxes"],
-            self.model.anchor_grid,
-            self.config,
-            rng=self._rng,
-        )
-        self.optimizer.zero_grad()
-        breakdown.total.backward()
+        with self.metrics.timer("train.forward_backward_seconds"):
+            with trace_span("train.forward"):
+                output = self.model(
+                    Tensor(batch["images"]), batch["token_ids"], batch["token_mask"]
+                )
+                breakdown = yollo_loss(
+                    output.attention_masks,
+                    output.cls_logits,
+                    output.reg_offsets,
+                    batch["target_boxes"],
+                    self.model.anchor_grid,
+                    self.config,
+                    rng=self._rng,
+                )
+            self.optimizer.zero_grad()
+            with trace_span("train.backward"):
+                breakdown.total.backward()
         self._pending = breakdown
         return float(breakdown.total.data)
 
@@ -235,12 +242,15 @@ class YolloTrainer:
         """Clip, update parameters, and record the step into history."""
         breakdown = self._pending
         self._pending = None
-        if self.config.grad_clip:
-            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
-        self.optimizer.step()
-        if self.scheduler is not None:
-            self.scheduler.step()
+        with self.metrics.timer("train.apply_seconds"), trace_span("train.apply_step"):
+            if self.config.grad_clip:
+                clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+            self.optimizer.step()
+            if self.scheduler is not None:
+                self.scheduler.step()
         self.iteration += 1
+        self.metrics.counter("train.steps").inc()
+        self.metrics.gauge("train.loss").set(loss_value)
         self.history.losses.append(float(loss_value))
         self.history.loss_components.append(
             {"att": breakdown.att, "cls": breakdown.cls, "reg": breakdown.reg}

@@ -14,6 +14,7 @@ from repro.core.encoder import FeatureEncoder
 from repro.core.rel2att import Rel2AttStack
 from repro.detection import clip_boxes, decode_offsets
 from repro.nn import Module
+from repro.obs import trace_span
 
 
 @dataclass
@@ -63,14 +64,18 @@ class YolloModel(Module):
 
     def forward(self, images: Tensor, token_ids: np.ndarray,
                 token_mask: Optional[np.ndarray] = None) -> YolloOutput:
-        image_seq, query_seq = self.encoder(images, token_ids)
-        attended, attention_masks = self.rel2att(image_seq, query_seq, token_mask)
-        # Reconstruct the attended feature map M~ (B, d, gh, gw).
-        batch = attended.shape[0]
-        feature_map = attended.transpose(0, 2, 1).reshape(
-            batch, self.config.d_model, self.encoder.grid_h, self.encoder.grid_w
-        )
-        cls_logits, reg_offsets = self.detector(feature_map)
+        with trace_span("yollo.forward"):
+            with trace_span("yollo.encoder"):
+                image_seq, query_seq = self.encoder(images, token_ids)
+            with trace_span("yollo.rel2att"):
+                attended, attention_masks = self.rel2att(image_seq, query_seq, token_mask)
+            # Reconstruct the attended feature map M~ (B, d, gh, gw).
+            batch = attended.shape[0]
+            feature_map = attended.transpose(0, 2, 1).reshape(
+                batch, self.config.d_model, self.encoder.grid_h, self.encoder.grid_w
+            )
+            with trace_span("yollo.detector"):
+                cls_logits, reg_offsets = self.detector(feature_map)
         return YolloOutput(cls_logits, reg_offsets, attention_masks)
 
     def predict(self, images: np.ndarray, token_ids: np.ndarray,
@@ -86,9 +91,10 @@ class YolloModel(Module):
         self.eval()
         with no_grad():
             output = self.forward(Tensor(images), token_ids, token_mask)
-            probs = softmax(output.cls_logits, axis=-1).data[..., 1]  # (B, A)
-            offsets = output.reg_offsets.data
-            last_mask = softmax(output.attention_masks[-1], axis=-1).data
+            with trace_span("yollo.decode"):
+                probs = softmax(output.cls_logits, axis=-1).data[..., 1]  # (B, A)
+                offsets = output.reg_offsets.data
+                last_mask = softmax(output.attention_masks[-1], axis=-1).data
         if was_training:
             self.train()
 

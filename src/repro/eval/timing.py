@@ -2,7 +2,11 @@
 
 All timings are single-sample (batch size 1), matching the paper's
 deployment-style measurement.  We report mean seconds per query plus the
-decomposition into proposal time and matching time for two-stage models.
+decomposition into proposal time and matching time for two-stage models,
+and — via :mod:`repro.obs` spans — the split between *model* time (time
+inside the network forward) and *end-to-end* time (model plus decode,
+preprocessing, and Python dispatch), so the reproduced speed table can
+attribute two-stage overhead the way the paper does.
 """
 
 from __future__ import annotations
@@ -14,6 +18,11 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.data.refcoco import GroundingSample
+from repro.obs.metrics import Histogram
+from repro.obs.profiler import SpanTotals, collect_spans
+
+#: Span names whose time counts as "model time" for a timed call.
+MODEL_SPANS = ("yollo.forward", "twostage.match")
 
 
 @dataclass
@@ -24,31 +33,46 @@ class TimingReport:
     std: float
     num_queries: int
     proposal_mean: float = 0.0  #: stage-i time for two-stage models (0 for YOLLO)
+    model_mean: float = 0.0  #: time inside the network forward (spans)
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     @property
     def total_mean(self) -> float:
         """Matching time plus proposal time — the end-to-end latency."""
         return self.mean + self.proposal_mean
 
+    @property
+    def overhead_mean(self) -> float:
+        """End-to-end time not spent in the model forward."""
+        return max(self.mean - self.model_mean, 0.0)
+
 
 def summarize_latencies(
-    durations: Sequence[float], proposal_mean: float = 0.0
+    durations: Sequence[float],
+    proposal_mean: float = 0.0,
+    model_mean: float = 0.0,
 ) -> TimingReport:
     """Condense a list of per-query latencies into a :class:`TimingReport`.
 
-    Shared by :func:`time_grounder` and the serving engine's
-    :class:`repro.serve.ServerStats`, so every latency number in the
-    repo is summarised the same way.
+    Built on :class:`repro.obs.metrics.Histogram` so the mean/std/quantile
+    semantics here are identical to the serving engine's
+    :class:`repro.serve.ServerStats` and the profiler — one quantile
+    implementation for every latency number in the repo.
     """
-    durations = np.asarray(list(durations), dtype=np.float64)
-    if durations.size == 0:
-        return TimingReport(mean=0.0, std=0.0, num_queries=0,
-                            proposal_mean=proposal_mean)
+    histogram = Histogram("latency")
+    histogram.observe_many(durations)
+    summary = histogram.summary()
     return TimingReport(
-        mean=float(durations.mean()),
-        std=float(durations.std()),
-        num_queries=int(durations.size),
+        mean=summary.mean,
+        std=summary.std,
+        num_queries=summary.count,
         proposal_mean=proposal_mean,
+        model_mean=model_mean,
+        p50=summary.p50,
+        p95=summary.p95,
+        p99=summary.p99,
     )
 
 
@@ -60,21 +84,34 @@ def time_grounder(
 ) -> TimingReport:
     """Time a grounder one sample at a time.
 
+    Each timed call runs under a span collector, so grounders that
+    annotate their forward pass (``yollo.forward``, ``twostage.match``,
+    ``twostage.propose``) get a model-time decomposition for free.
+
     ``proposal_timer``, when given, measures the stage-i cost per sample
-    separately (the parenthesised "+0.29s" column of Table 5).
+    separately (the parenthesised "+0.29s" column of Table 5); spans are
+    deliberately not used for it because the in-pipeline proposer time is
+    already part of ``mean`` and would double-count in ``total_mean``.
     """
     samples = list(samples)
     for sample in samples[:warmup]:
         grounder([sample])
 
     durations = []
-    for sample in samples:
-        start = time.perf_counter()
-        grounder([sample])
-        durations.append(time.perf_counter() - start)
+    spans = SpanTotals()
+    with collect_spans(spans):
+        for sample in samples:
+            start = time.perf_counter()
+            grounder([sample])
+            durations.append(time.perf_counter() - start)
+
+    num = max(len(samples), 1)
+    model_mean = spans.total(MODEL_SPANS) / num
 
     proposal_mean = 0.0
     if proposal_timer is not None:
         proposal_mean = float(np.mean([proposal_timer(s) for s in samples]))
 
-    return summarize_latencies(durations, proposal_mean=proposal_mean)
+    return summarize_latencies(
+        durations, proposal_mean=proposal_mean, model_mean=model_mean
+    )

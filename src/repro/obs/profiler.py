@@ -1,0 +1,486 @@
+"""Op-level profiler and trace spans over :mod:`repro.autograd`.
+
+Design goals, in order:
+
+1. **Zero overhead when off.**  Nothing in the hot path is permanently
+   wrapped.  While a :class:`Profiler` with ``ops=True`` is active, the
+   primitive tensor operations (``matmul``, ``conv2d``, ``softmax``,
+   elementwise ops, reductions, …) are *temporarily* replaced by timing
+   wrappers — on :class:`Tensor` itself for methods, and on every module
+   that holds a ``from repro.autograd import conv2d``-style binding
+   (found by scanning ``sys.modules`` for attributes that *are* the
+   original function).  On exit every binding is restored, so the
+   profiling-off code path is byte-identical to an uninstrumented build.
+   Inactive :func:`trace_span` blocks cost one global list check.
+
+2. **Forward/backward attribution.**  Each wrapped op also wraps the
+   backward closure it records on its output tensor, so the reverse pass
+   is timed per-op and reported separately.
+
+3. **Structure via spans.**  ``with trace_span("rel2att.block0"):``
+   annotates model-level structure.  Spans broadcast to every active
+   collector, so a full :class:`Profiler` and a lightweight
+   :class:`SpanTotals` (used by ``repro.eval.timing``) can listen at
+   the same time, nested or not.
+
+Composite ops (``mean``, ``sub``, ``var``, ``stack``) suppress the
+recording of the primitives they are built from (a thread-local
+re-entrancy guard), so each forward numpy FLOP is attributed exactly
+once.  Backward time of a composite is attributed to its outermost
+closure; interior closures created while the guard was held run
+untimed, which slightly under-reports composite backward time — an
+accepted approximation documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import repro.autograd.functional
+import repro.autograd.tensor
+from repro.autograd.tensor import Tensor
+
+# The package __init__ re-exports a ``tensor`` *function* that shadows
+# the submodule attribute, so ``import repro.autograd.tensor as m``
+# would bind the function; go through sys.modules for the modules.
+_functional = sys.modules["repro.autograd.functional"]
+_tensor_mod = sys.modules["repro.autograd.tensor"]
+
+# ----------------------------------------------------------------------
+# Span broadcasting
+# ----------------------------------------------------------------------
+#: Active span collectors.  Appended/removed under _collectors_lock;
+#: read without locking (CPython list reads are atomic) on the hot path.
+_collectors: List[object] = []
+_collectors_lock = threading.Lock()
+
+
+def _add_collector(collector: object) -> None:
+    with _collectors_lock:
+        _collectors.append(collector)
+
+
+def _remove_collector(collector: object) -> None:
+    with _collectors_lock:
+        if collector in _collectors:
+            _collectors.remove(collector)
+
+
+class trace_span:
+    """Annotate a code region; near-free when no profiler is listening.
+
+    ``with trace_span("yollo.forward"): ...`` records one span event
+    (name, start, end) into every active collector.  When nothing is
+    collecting, entry and exit are a single truthiness check each.
+    """
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._start = None
+
+    def __enter__(self) -> "trace_span":
+        if _collectors:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._start is not None:
+            end = time.perf_counter()
+            for collector in list(_collectors):
+                collector.record_span(self.name, self._start, end)
+            self._start = None
+        return False
+
+
+class SpanTotals:
+    """Minimal span collector: accumulated seconds and calls per name."""
+
+    def __init__(self):
+        self.totals: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def record_span(self, name: str, start: float, end: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + (end - start)
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def total(self, names) -> float:
+        """Summed seconds across the given span names."""
+        return sum(self.totals.get(name, 0.0) for name in names)
+
+
+@contextmanager
+def collect_spans(collector: Optional[SpanTotals] = None):
+    """Register a span collector for the duration of the block."""
+    collector = collector if collector is not None else SpanTotals()
+    _add_collector(collector)
+    try:
+        yield collector
+    finally:
+        _remove_collector(collector)
+
+
+# ----------------------------------------------------------------------
+# Primitive op tables
+# ----------------------------------------------------------------------
+#: Tensor methods wrapped while profiling (attribute name -> op label).
+_TENSOR_METHODS: Dict[str, str] = {
+    "__add__": "add",
+    "__sub__": "sub",
+    "__neg__": "neg",
+    "__mul__": "mul",
+    "__truediv__": "div",
+    "__pow__": "pow",
+    "__getitem__": "index",
+    "matmul": "matmul",
+    "exp": "exp",
+    "log": "log",
+    "tanh": "tanh",
+    "sigmoid": "sigmoid",
+    "relu": "relu",
+    "leaky_relu": "leaky_relu",
+    "abs": "abs",
+    "clip": "clip",
+    "maximum": "maximum",
+    "sum": "sum",
+    "mean": "mean",
+    "max": "max",
+    "var": "var",
+    "reshape": "reshape",
+    "transpose": "transpose",
+}
+
+#: Free functions wrapped while profiling: op label -> defining module.
+_FUNCTION_OPS: Dict[str, object] = {
+    "conv2d": _functional,
+    "max_pool2d": _functional,
+    "avg_pool2d": _functional,
+    "pad2d": _functional,
+    "softmax": _functional,
+    "log_softmax": _functional,
+    "embedding_lookup": _functional,
+    "where": _tensor_mod,
+    "concatenate": _tensor_mod,
+    "stack": _tensor_mod,
+}
+
+# Thread-local re-entrancy guard: ops called from inside another
+# instrumented op are attributed to the outer op.
+_tls = threading.local()
+
+#: The single profiler currently patching ops (spans may have several
+#: collectors, but op wrappers close over exactly one profiler).
+_op_profiler: Optional["Profiler"] = None
+
+
+@dataclass
+class TraceEvent:
+    """One completed op or span occurrence."""
+
+    name: str
+    category: str  # "op" | "span"
+    phase: str  # "forward" | "backward" | "" (spans)
+    start: float  # absolute time.perf_counter() seconds
+    duration: float
+    thread: int
+    shape: Optional[Tuple[int, ...]] = None
+    nbytes: int = 0
+
+
+@dataclass
+class OpStat:
+    """Aggregated per-op totals over one profiling session."""
+
+    name: str
+    calls: int = 0
+    backward_calls: int = 0
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    nbytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+
+class Profiler:
+    """Record primitive-op timings and spans for one code region.
+
+    Use through the :func:`profile` context manager::
+
+        with profile() as prof:
+            loss = trainer.forward_backward()
+            trainer.apply_step(loss)
+        print(prof.render(top=10))
+        prof.export_chrome_trace("trace.json")
+
+    Parameters
+    ----------
+    ops:
+        Patch the autograd primitives (op-level events).  Only one
+        ops-profiler may be active at a time.  ``ops=False`` collects
+        spans only — cheap enough to wrap timing loops.
+    """
+
+    def __init__(self, ops: bool = True):
+        self.ops = ops
+        self.events: List[TraceEvent] = []
+        self._events_lock = threading.Lock()
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+        self._patched_modules: List[Tuple[object, str, object]] = []
+        self._patched_methods: List[Tuple[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Profiler":
+        global _op_profiler
+        if self._t0 is not None:
+            raise RuntimeError("Profiler instances are single-use")
+        if self.ops:
+            if _op_profiler is not None:
+                raise RuntimeError("another op-level Profiler is already active")
+            _op_profiler = self
+            self._install_patches()
+        self._t0 = time.perf_counter()
+        _add_collector(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _op_profiler
+        self._t1 = time.perf_counter()
+        _remove_collector(self)
+        if self.ops:
+            self._uninstall_patches()
+            _op_profiler = None
+        return False
+
+    @property
+    def wall_seconds(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        end = self._t1 if self._t1 is not None else time.perf_counter()
+        return end - self._t0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_span(self, name: str, start: float, end: float) -> None:
+        event = TraceEvent(
+            name=name, category="span", phase="",
+            start=start, duration=end - start,
+            thread=threading.get_ident(),
+        )
+        with self._events_lock:
+            self.events.append(event)
+
+    def _record_op(self, name: str, start: float, duration: float,
+                   out, phase: str) -> None:
+        shape = None
+        nbytes = 0
+        if isinstance(out, Tensor):
+            shape = tuple(out.data.shape)
+            nbytes = int(out.data.nbytes)
+        event = TraceEvent(
+            name=name, category="op", phase=phase,
+            start=start, duration=duration,
+            thread=threading.get_ident(), shape=shape, nbytes=nbytes,
+        )
+        with self._events_lock:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Patching machinery
+    # ------------------------------------------------------------------
+    def _make_op_wrapper(self, label: str, fn: Callable) -> Callable:
+        profiler = self
+
+        def wrapped(*args, **kwargs):
+            if getattr(_tls, "busy", False):
+                return fn(*args, **kwargs)
+            _tls.busy = True
+            started = time.perf_counter()
+            try:
+                out = fn(*args, **kwargs)
+            finally:
+                _tls.busy = False
+            profiler._record_op(
+                label, started, time.perf_counter() - started, out, "forward"
+            )
+            if isinstance(out, Tensor) and out._backward is not None:
+                profiler._hook_backward(label, out)
+            return out
+
+        wrapped.__name__ = getattr(fn, "__name__", label)
+        wrapped.__qualname__ = getattr(fn, "__qualname__", label)
+        wrapped.__doc__ = getattr(fn, "__doc__", None)
+        wrapped._obs_original = fn
+        return wrapped
+
+    def _hook_backward(self, label: str, out: Tensor) -> None:
+        inner = out._backward
+        profiler = self
+
+        def timed_backward(grad):
+            if getattr(_tls, "busy", False):
+                return inner(grad)
+            _tls.busy = True
+            started = time.perf_counter()
+            try:
+                inner(grad)
+            finally:
+                _tls.busy = False
+            profiler._record_op(
+                label, started, time.perf_counter() - started, None, "backward"
+            )
+
+        out._backward = timed_backward
+
+    def _install_patches(self) -> None:
+        # Tensor methods: one patch on the class covers every call site.
+        for attr, label in _TENSOR_METHODS.items():
+            original = getattr(Tensor, attr)
+            setattr(Tensor, attr, self._make_op_wrapper(label, original))
+            self._patched_methods.append((attr, original))
+
+        # Free functions: patch the defining module *and* every module
+        # holding a direct binding (``from repro.autograd import conv2d``
+        # freezes the function object into the importer's namespace, so
+        # patching only the source module would miss those call sites).
+        originals = {
+            label: getattr(module, label)
+            for label, module in _FUNCTION_OPS.items()
+        }
+        wrappers = {
+            label: self._make_op_wrapper(label, fn)
+            for label, fn in originals.items()
+        }
+        for module in list(sys.modules.values()):
+            if module is None or not getattr(module, "__name__", "").startswith("repro"):
+                continue
+            for label, fn in originals.items():
+                if getattr(module, label, None) is fn:
+                    setattr(module, label, wrappers[label])
+                    self._patched_modules.append((module, label, fn))
+
+    def _uninstall_patches(self) -> None:
+        for attr, original in self._patched_methods:
+            setattr(Tensor, attr, original)
+        self._patched_methods = []
+        for module, label, original in self._patched_modules:
+            setattr(module, label, original)
+        self._patched_modules = []
+
+    # ------------------------------------------------------------------
+    # Aggregation and export
+    # ------------------------------------------------------------------
+    def snapshot_events(self) -> List[TraceEvent]:
+        with self._events_lock:
+            return list(self.events)
+
+    def op_stats(self) -> List[OpStat]:
+        """Per-op totals sorted by total time, descending."""
+        stats: Dict[str, OpStat] = {}
+        for event in self.snapshot_events():
+            if event.category != "op":
+                continue
+            stat = stats.get(event.name)
+            if stat is None:
+                stat = stats[event.name] = OpStat(name=event.name)
+            if event.phase == "backward":
+                stat.backward_calls += 1
+                stat.backward_seconds += event.duration
+            else:
+                stat.calls += 1
+                stat.forward_seconds += event.duration
+                stat.nbytes += event.nbytes
+        return sorted(stats.values(), key=lambda s: -s.total_seconds)
+
+    def span_totals(self) -> Dict[str, float]:
+        """Accumulated seconds per span name."""
+        totals: Dict[str, float] = {}
+        for event in self.snapshot_events():
+            if event.category == "span":
+                totals[event.name] = totals.get(event.name, 0.0) + event.duration
+        return totals
+
+    def span_stats(self) -> List[Tuple[str, int, float]]:
+        """(name, calls, total seconds) per span, sorted by total time."""
+        totals: Dict[str, List[float]] = {}
+        for event in self.snapshot_events():
+            if event.category == "span":
+                entry = totals.setdefault(event.name, [0, 0.0])
+                entry[0] += 1
+                entry[1] += event.duration
+        return sorted(
+            ((name, int(calls), total) for name, (calls, total) in totals.items()),
+            key=lambda row: -row[2],
+        )
+
+    def chrome_trace(self) -> List[Dict[str, object]]:
+        """Chrome ``trace_event`` complete events, sorted by timestamp.
+
+        Load the exported JSON in ``chrome://tracing`` or Perfetto.
+        Timestamps are microseconds relative to profiler start.
+        """
+        t0 = self._t0 if self._t0 is not None else 0.0
+        trace: List[Dict[str, object]] = []
+        for event in sorted(self.snapshot_events(), key=lambda e: e.start):
+            args: Dict[str, object] = {}
+            if event.phase:
+                args["phase"] = event.phase
+            if event.shape is not None:
+                args["shape"] = list(event.shape)
+                args["bytes"] = event.nbytes
+            trace.append({
+                "name": event.name,
+                "cat": event.category,
+                "ph": "X",
+                "ts": (event.start - t0) * 1e6,
+                "dur": event.duration * 1e6,
+                "pid": 0,
+                "tid": event.thread,
+                "args": args,
+            })
+        return trace
+
+    def export_chrome_trace(self, path: str) -> str:
+        """Write the Chrome trace JSON; returns the path."""
+        payload = {
+            "traceEvents": self.chrome_trace(),
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "producer": "repro.obs",
+                "wall_seconds": self.wall_seconds,
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable report: hot-op table plus span table."""
+        from repro.obs.report import render_profile
+
+        return render_profile(self, top=top)
+
+
+@contextmanager
+def profile(ops: bool = True):
+    """Profile the enclosed block; yields the :class:`Profiler`."""
+    profiler = Profiler(ops=ops)
+    with profiler:
+        yield profiler
+
+
+def get_active_profiler() -> Optional[Profiler]:
+    """The op-level profiler currently patching autograd, if any."""
+    return _op_profiler

@@ -1,0 +1,86 @@
+"""Human-readable rendering of profiler sessions.
+
+Kept separate from :mod:`repro.obs.profiler` so the profiler core has no
+import-time dependency on the table/viz helpers (``repro.eval.reporting``
+imports ``repro.eval.timing`` which imports ``repro.obs`` — rendering
+imports lazily to keep that chain acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def _format_mb(nbytes: int) -> str:
+    return f"{nbytes / (1024.0 * 1024.0):.2f}"
+
+
+def render_hot_ops(profiler, top: int = 10) -> str:
+    """Top-K hot-op ASCII table for one profiling session.
+
+    Columns: op name, forward call count, total/forward/backward
+    milliseconds, share of summed op time, cumulative forward output
+    megabytes, and a proportional ASCII bar.
+    """
+    from repro.eval.reporting import format_table
+    from repro.viz.ascii import ascii_bar
+
+    stats = profiler.op_stats()
+    summed = sum(stat.total_seconds for stat in stats) or 1.0
+    rows: List[List[str]] = []
+    for stat in stats[: max(0, int(top))]:
+        share = stat.total_seconds / summed
+        rows.append([
+            stat.name,
+            str(stat.calls),
+            _format_ms(stat.total_seconds),
+            _format_ms(stat.forward_seconds),
+            _format_ms(stat.backward_seconds),
+            f"{share * 100.0:5.1f}%",
+            _format_mb(stat.nbytes),
+            ascii_bar(share, width=20),
+        ])
+    if not rows:
+        return "no op events recorded (was the profiler enabled with ops=True?)"
+    return format_table(
+        ["Op", "Calls", "Total ms", "Fwd ms", "Bwd ms", "Share", "MB", ""],
+        rows,
+        title=f"Hot ops (top {min(top, len(stats))} of {len(stats)})",
+    )
+
+
+def render_spans(profiler) -> str:
+    """Span summary table (name, calls, total ms, mean ms)."""
+    from repro.eval.reporting import format_table
+
+    stats = profiler.span_stats()
+    if not stats:
+        return "no spans recorded"
+    rows = [
+        [name, str(calls), _format_ms(total), _format_ms(total / max(calls, 1))]
+        for name, calls, total in stats
+    ]
+    return format_table(
+        ["Span", "Calls", "Total ms", "Mean ms"],
+        rows,
+        title="Spans",
+    )
+
+
+def render_profile(profiler, top: int = 10) -> str:
+    """Full report: header, hot-op table, span table."""
+    events = profiler.snapshot_events()
+    num_ops = sum(1 for e in events if e.category == "op")
+    num_spans = len(events) - num_ops
+    header = (
+        f"profile: wall {profiler.wall_seconds * 1e3:.1f} ms, "
+        f"{num_ops} op events, {num_spans} span events"
+    )
+    parts = [header, "", render_hot_ops(profiler, top=top)]
+    if num_spans:
+        parts += ["", render_spans(profiler)]
+    return "\n".join(parts)

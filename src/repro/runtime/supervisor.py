@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import MetricsRegistry, get_registry
 from repro.runtime.checkpoint import (
     CheckpointManager,
     FingerprintMismatchError,
@@ -123,12 +124,17 @@ class TrainingSupervisor:
         io_retry_attempts: int = 3,
         eval_retry_attempts: int = 2,
         retry_sleep: Callable[[float], None] = time.sleep,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.task = task
         self.checkpoint_every = checkpoint_every
         self.resume = resume
         self.fault_plan = fault_plan
         self.logger = logger or ProgressLogger("supervisor", enabled=False)
+        #: Registry receiving ``runtime.*`` metrics (process-wide default);
+        #: the :class:`SupervisorReport` counters stay authoritative for a
+        #: single run, the registry aggregates across runs.
+        self.metrics = metrics if metrics is not None else get_registry()
         self.guard = guard or AnomalyGuard(logger=self.logger)
         self.max_rollbacks = max_rollbacks
         self.io_retry_attempts = io_retry_attempts
@@ -185,6 +191,7 @@ class TrainingSupervisor:
                 )
                 task.skip_step()
                 report.skipped_steps += 1
+                self.metrics.counter("runtime.skipped_steps").inc()
             else:  # ROLLBACK
                 self._rollback(report, initial_snapshot, verdict.reason)
                 continue
@@ -210,6 +217,7 @@ class TrainingSupervisor:
     def _rollback(self, report: SupervisorReport, initial_snapshot: Dict,
                   reason: str) -> None:
         report.rollbacks += 1
+        self.metrics.counter("runtime.rollbacks").inc()
         if report.rollbacks > self.max_rollbacks:
             raise TrainingAborted(
                 f"aborting after {report.rollbacks - 1} rollbacks "
@@ -245,6 +253,7 @@ class TrainingSupervisor:
             )
         except RetryExhaustedError as exc:
             report.eval_failures += 1
+            self.metrics.counter("runtime.eval_failures").inc()
             self.logger.log(f"evaluation degraded, training continues: {exc}")
 
     def _save_checkpoint(self, report: SupervisorReport) -> bool:
@@ -263,11 +272,15 @@ class TrainingSupervisor:
             )
         except RetryExhaustedError as exc:
             report.checkpoint_failures += 1
+            self.metrics.counter("runtime.checkpoint_failures").inc()
             self.logger.log(f"checkpoint degraded, training continues: {exc}")
             return False
         finally:
-            report.checkpoint_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            report.checkpoint_seconds += elapsed
+            self.metrics.histogram("runtime.checkpoint_seconds").observe(elapsed)
         report.checkpoint_writes += 1
+        self.metrics.counter("runtime.checkpoint_writes").inc()
         return True
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.autograd import no_grad
 from repro.data.refcoco import GroundingSample
+from repro.obs import MetricsRegistry, trace_span
 from repro.serve.cache import LRUCache, image_digest
 from repro.serve.stats import ServerStats, StatsRecorder
 from repro.text.tokenizer import tokenize
@@ -75,6 +76,10 @@ class ServeEngine:
         fills batches without ever sleeping).
     cache_size:
         LRU entries for (image digest, query) -> box; 0 disables.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` the engine publishes
+        its ``serve.*`` metrics into; defaults to a private registry
+        (readable via :attr:`metrics`).
 
     Use as a context manager, or call :meth:`start`/:meth:`stop`.
     ``submit`` starts the worker lazily, so the one-liner
@@ -87,6 +92,7 @@ class ServeEngine:
         max_batch: int = 16,
         max_wait: float = 0.002,
         cache_size: int = 256,
+        metrics: MetricsRegistry = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -98,8 +104,13 @@ class ServeEngine:
         self._queue: "queue.Queue" = queue.Queue()
         self._cache = LRUCache(cache_size)
         self._cache_lock = threading.Lock()
-        self._recorder = StatsRecorder()
+        self._recorder = StatsRecorder(registry=metrics)
         self._thread: threading.Thread = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this engine's ``serve.*`` metrics live in."""
+        return self._recorder.registry
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -223,7 +234,7 @@ class ServeEngine:
             return
         samples = [group[0].sample for group in groups.values()]
         try:
-            with no_grad():
+            with trace_span("serve.batch"), no_grad():
                 boxes = np.asarray(self.grounder(samples), dtype=np.float64)
             boxes = boxes.reshape(len(samples), 4)
         except Exception as exc:  # surface the failure on every waiter

@@ -2,9 +2,13 @@
 
 The engine feeds a thread-safe :class:`StatsRecorder` as requests flow
 through it; :meth:`StatsRecorder.snapshot` condenses the raw samples
-into an immutable :class:`ServerStats` report.  Latency summarisation
-reuses :class:`repro.eval.timing.TimingReport`, so serving numbers are
-directly comparable with the Table-5 timing path.
+into an immutable :class:`ServerStats` report.  All distributions live
+in :mod:`repro.obs` metrics (``serve.*`` names in a
+:class:`~repro.obs.MetricsRegistry`), so quantile semantics are shared
+with the profiler and the Table-5 timing path, and external observers
+can read the same registry the engine publishes into.  Latency
+summarisation reuses :class:`repro.eval.timing.TimingReport`, so serving
+numbers are directly comparable with Table 5.
 """
 
 from __future__ import annotations
@@ -12,11 +16,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.eval.timing import TimingReport, summarize_latencies
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -91,63 +96,69 @@ class ServerStats:
 
 
 class StatsRecorder:
-    """Thread-safe accumulator behind :class:`ServerStats`."""
+    """Thread-safe accumulator behind :class:`ServerStats`.
 
-    def __init__(self):
+    All counts and distributions are stored as ``serve.*`` metrics in a
+    :class:`~repro.obs.MetricsRegistry` — the recorder owns a private
+    registry unless one is injected, in which case the engine's numbers
+    appear alongside whatever else that registry tracks.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
         self._lock = threading.Lock()
-        self.reset()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter("serve.requests")
+        self._completed = self.registry.counter("serve.completed")
+        self._hits = self.registry.counter("serve.cache_hits")
+        self._misses = self.registry.counter("serve.cache_misses")
+        self._latencies = self.registry.histogram("serve.latency_seconds")
+        self._batch_sizes = self.registry.histogram("serve.batch_size")
+        self._queue_depths = self.registry.histogram("serve.queue_depth")
+        self._first_request: float = 0.0
+        self._last_completion: float = 0.0
 
     def reset(self) -> None:
+        """Reset the engine's own metrics (other registry entries stay)."""
         with self._lock:
-            self._requests = 0
-            self._completed = 0
-            self._hits = 0
-            self._misses = 0
-            self._latencies: List[float] = []
-            self._batch_sizes: List[int] = []
-            self._queue_depths: List[int] = []
-            self._first_request: float = 0.0
-            self._last_completion: float = 0.0
+            for metric in (self._requests, self._completed, self._hits,
+                           self._misses, self._latencies, self._batch_sizes,
+                           self._queue_depths):
+                metric.reset()
+            self._first_request = 0.0
+            self._last_completion = 0.0
 
     def record_request(self) -> None:
         now = time.perf_counter()
         with self._lock:
-            if self._requests == 0:
+            if self._requests.value == 0:
                 self._first_request = now
-            self._requests += 1
+            self._requests.inc()
 
     def record_completion(self, latency: float, hit: bool) -> None:
         now = time.perf_counter()
         with self._lock:
-            self._completed += 1
-            if hit:
-                self._hits += 1
-            else:
-                self._misses += 1
-            self._latencies.append(float(latency))
+            self._completed.inc()
+            (self._hits if hit else self._misses).inc()
+            self._latencies.observe(latency)
             self._last_completion = now
 
     def record_batch(self, size: int, queue_depth: int) -> None:
         with self._lock:
-            self._batch_sizes.append(int(size))
-            self._queue_depths.append(int(queue_depth))
+            self._batch_sizes.observe(size)
+            self._queue_depths.observe(queue_depth)
 
     def snapshot(self) -> ServerStats:
         with self._lock:
-            latencies = list(self._latencies)
-            batch_sizes = list(self._batch_sizes)
-            depths = list(self._queue_depths)
-            requests, completed = self._requests, self._completed
-            hits, misses = self._hits, self._misses
+            latencies = self._latencies.values()
+            batch_sizes = self._batch_sizes.values()
+            depths = self._queue_depths.values()
+            requests, completed = self._requests.value, self._completed.value
+            hits, misses = self._hits.value, self._misses.value
             wall = max(0.0, self._last_completion - self._first_request)
-        if latencies:
-            p50, p95, p99 = (
-                float(v) for v in np.percentile(latencies, [50.0, 95.0, 99.0])
-            )
-        else:
-            p50 = p95 = p99 = 0.0
+        timing = summarize_latencies(latencies)
         histogram: Dict[int, int] = {}
         for size in batch_sizes:
+            size = int(size)
             histogram[size] = histogram.get(size, 0) + 1
         return ServerStats(
             requests=requests,
@@ -156,11 +167,11 @@ class StatsRecorder:
             cache_misses=misses,
             batches=len(batch_sizes),
             wall_seconds=wall,
-            latency_p50=p50,
-            latency_p95=p95,
-            latency_p99=p99,
-            queue_depth_max=max(depths) if depths else 0,
+            latency_p50=timing.p50,
+            latency_p95=timing.p95,
+            latency_p99=timing.p99,
+            queue_depth_max=int(max(depths)) if depths else 0,
             queue_depth_mean=float(np.mean(depths)) if depths else 0.0,
             batch_histogram=histogram,
-            timing=summarize_latencies(latencies),
+            timing=timing,
         )

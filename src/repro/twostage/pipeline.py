@@ -15,7 +15,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.autograd import no_grad
 from repro.data.refcoco import GroundingSample
+from repro.obs import trace_span
 
 
 class TwoStageGrounder:
@@ -59,18 +61,20 @@ class TwoStageGrounder:
     def ground_sample(self, sample: GroundingSample) -> np.ndarray:
         """Ground one sample; records stage timings for Table 5."""
         start = time.perf_counter()
-        proposals = self.proposer.propose(sample.image)
+        with trace_span("twostage.propose"):
+            proposals = self.proposer.propose(sample.image)
         self.last_proposal_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        combined = np.zeros(len(proposals))
-        for matcher in self.matchers.values():
-            token_ids, token_mask = matcher.vocab.encode(
-                sample.tokens, matcher.max_query_length
-            )
-            scores = matcher(sample.image, proposals, token_ids, token_mask)
-            spread = scores.std() + 1e-8
-            combined = combined + (scores - scores.mean()) / spread
+        with trace_span("twostage.match"), no_grad():
+            combined = np.zeros(len(proposals))
+            for matcher in self.matchers.values():
+                token_ids, token_mask = matcher.vocab.encode(
+                    sample.tokens, matcher.max_query_length
+                )
+                scores = matcher(sample.image, proposals, token_ids, token_mask)
+                spread = scores.std() + 1e-8
+                combined = combined + (scores - scores.mean()) / spread
         self.last_matching_seconds = time.perf_counter() - start
         return proposals.boxes[int(combined.argmax())]
 

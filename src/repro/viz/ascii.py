@@ -43,6 +43,35 @@ def render_attention_ascii(attention: np.ndarray, box: Optional[np.ndarray] = No
     return "\n".join("".join(row) for row in chars)
 
 
+def ascii_bar(fraction: float, width: int = 20, fill: str = "#") -> str:
+    """Render ``fraction`` (clamped to [0, 1]) as a fixed-width bar.
+
+    A non-zero fraction always shows at least one fill character so tiny
+    contributions stay visible in hot-op tables.
+    """
+    fraction = float(np.clip(fraction, 0.0, 1.0))
+    cells = int(round(fraction * width))
+    if fraction > 0.0 and cells == 0:
+        cells = 1
+    return fill * cells + " " * (width - cells)
+
+
+def render_bars_ascii(labels, values, width: int = 30) -> str:
+    """Horizontal bar chart: one line per (label, value), scaled to max."""
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    top = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    return "\n".join(
+        f"{label:<{label_width}} |{ascii_bar(value / top, width=width)}| {value:.4g}"
+        for label, value in zip(labels, values)
+    )
+
+
 def render_scene_ascii(image: np.ndarray, target_box: Optional[np.ndarray] = None,
                        predicted_box: Optional[np.ndarray] = None,
                        cell: int = 4) -> str:

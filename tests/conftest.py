@@ -1,10 +1,37 @@
 """Test-suite fixtures: deterministic seeding and dtype isolation."""
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
 from repro.autograd import set_default_dtype
 from repro.utils import seed_everything
+
+
+@contextmanager
+def record_grad_children():
+    """Spy on ``Tensor._make_child``: collect every grad-tracked tensor.
+
+    Inference paths wrapped in ``no_grad()`` must leave the yielded list
+    empty — the regression contract for the no-graph inference work.
+    """
+    from repro.autograd.tensor import Tensor
+
+    original = Tensor._make_child
+    tracked = []
+
+    def spy(self, data, parents):
+        out = original(self, data, parents)
+        if out.requires_grad:
+            tracked.append(out)
+        return out
+
+    Tensor._make_child = spy
+    try:
+        yield tracked
+    finally:
+        Tensor._make_child = original
 
 
 @pytest.fixture(autouse=True, scope="module")

@@ -36,6 +36,18 @@ class TestParser:
         assert args.max_batch == 16
         assert args.model is None
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.target == "train-step"
+        assert args.steps == 1
+        assert args.top == 12
+        assert args.out is None
+        assert args.scale == pytest.approx(0.1)
+
+    def test_profile_target_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--target", "nonsense"])
+
 
 class TestEndToEnd:
     def test_train_then_evaluate_then_ground(self, tmp_path, capsys, monkeypatch):
@@ -58,3 +70,20 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "red dog" in out and "box:" in out
+
+    def test_profile_train_step_writes_chrome_trace(self, tmp_path, capsys,
+                                                    monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = str(tmp_path / "trace.json")
+        code = main(["profile", "--target", "train-step", "--scale", "0.03",
+                     "--out", out])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Hot ops" in printed and "conv2d" in printed
+        assert "Spans" in printed and "yollo.forward" in printed
+        with open(out) as handle:
+            payload = json.load(handle)
+        ts = [event["ts"] for event in payload["traceEvents"]]
+        assert ts and ts == sorted(ts)

@@ -16,6 +16,7 @@ from repro.eval import (
     time_grounder,
 )
 from repro.eval.metrics import SWEEP_THRESHOLDS, pairwise_ious
+from repro.eval.timing import summarize_latencies
 
 
 @pytest.fixture(scope="module")
@@ -123,6 +124,41 @@ class TestTiming:
         )
         assert report.proposal_mean == pytest.approx(0.5)
         assert report.total_mean == pytest.approx(report.mean + 0.5)
+
+    def test_quantiles_match_numpy(self):
+        durations = [0.01, 0.02, 0.03, 0.10]
+        report = summarize_latencies(durations)
+        assert report.p50 == float(np.percentile(durations, 50))
+        assert report.p95 == float(np.percentile(durations, 95))
+        assert report.p99 == float(np.percentile(durations, 99))
+        assert report.mean == pytest.approx(np.mean(durations))
+        assert report.std == pytest.approx(np.std(durations))
+
+    def test_empty_latencies(self):
+        report = summarize_latencies([])
+        assert report.num_queries == 0
+        assert report.mean == 0.0 and report.p99 == 0.0
+
+    def test_model_time_from_spans(self, dataset):
+        from repro.obs import trace_span
+
+        def grounder(samples):
+            with trace_span("yollo.forward"):
+                pass  # the span *is* the model time here
+            return np.zeros((len(samples), 4))
+
+        report = time_grounder(grounder, dataset["val"][:3], warmup=0)
+        assert report.model_mean > 0.0
+        assert report.model_mean <= report.mean
+        assert report.overhead_mean == pytest.approx(
+            report.mean - report.model_mean
+        )
+
+    def test_unspanned_grounder_has_zero_model_time(self, dataset):
+        grounder = lambda samples: np.zeros((len(samples), 4))
+        report = time_grounder(grounder, dataset["val"][:2], warmup=0)
+        assert report.model_mean == 0.0
+        assert report.overhead_mean == report.mean
 
 
 class TestTrainingCurve:

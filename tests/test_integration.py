@@ -102,3 +102,23 @@ def test_float32_training_step_runs(setup):
         assert np.all(np.isfinite(history.losses))
     finally:
         set_default_dtype(np.float64)
+
+
+def test_trainer_publishes_shared_metrics(setup):
+    """YolloTrainer reports steps/timings through the repro.obs registry."""
+    from repro.obs import MetricsRegistry
+
+    dataset, cfg, _, _, _ = setup
+    registry = MetricsRegistry()
+    seed_everything(17)
+    model = YolloModel(cfg, vocab_size=len(dataset.vocab))
+    trainer = YolloTrainer(model, dataset, cfg, metrics=registry)
+    trainer.begin_run(iterations=2)
+    loss = None
+    for _ in range(2):
+        loss = trainer.forward_backward()
+        trainer.apply_step(loss)
+    assert registry.counter("train.steps").value == 2
+    assert registry.histogram("train.forward_backward_seconds").count == 2
+    assert registry.histogram("train.apply_seconds").count == 2
+    assert registry.gauge("train.loss").value == pytest.approx(loss)

@@ -595,3 +595,19 @@ class TestCliCheckpointing:
             main(["train", "--resume", "--quiet", "--scale", "0.03",
                   "--backbone", "tiny", "--pretrain-steps", "1",
                   "--epochs", "1"])
+
+
+class TestSupervisorMetrics:
+    def test_counters_published_to_injected_registry(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        task, _, _ = make_toy_task(total=10)
+        plan = FaultPlan(nan_grad_at={4})
+        report = TrainingSupervisor(task, checkpoint_dir=str(tmp_path),
+                                    checkpoint_every=3, fault_plan=plan,
+                                    metrics=registry).run()
+        assert registry.counter("runtime.skipped_steps").value == report.skipped_steps == 1
+        assert registry.counter("runtime.checkpoint_writes").value == report.checkpoint_writes
+        assert registry.histogram("runtime.checkpoint_seconds").count == report.checkpoint_writes
+        assert registry.counter("runtime.rollbacks").value == 0

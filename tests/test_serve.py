@@ -263,3 +263,93 @@ class TestServeYollo:
         with grounder.serve() as engine:
             engine.ground(sample.image, sample.query, timeout=30)
         assert not grounder.model.training
+
+
+# ----------------------------------------------------------------------
+# Shared observability registry
+# ----------------------------------------------------------------------
+class TestServeMetrics:
+    def test_engine_publishes_into_injected_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stub = StubGrounder()
+        with ServeEngine(stub, max_batch=4, metrics=registry) as engine:
+            engine.ground(make_image(1), "a", timeout=10)
+            engine.ground(make_image(1), "a", timeout=10)  # cache hit
+        assert engine.metrics is registry
+        assert registry.counter("serve.requests").value == 2
+        assert registry.counter("serve.cache_hits").value == 1
+        assert registry.histogram("serve.latency_seconds").count == 2
+        snap = registry.snapshot()
+        assert snap["serve.latency_seconds"]["count"] == 2
+
+    def test_default_registry_is_private_per_engine(self):
+        first = ServeEngine(StubGrounder())
+        second = ServeEngine(StubGrounder())
+        assert first.metrics is not second.metrics
+
+    def test_stats_quantiles_match_shared_histogram(self):
+        from repro.obs.metrics import percentiles
+        from repro.serve.stats import StatsRecorder
+
+        recorder = StatsRecorder()
+        latencies = [0.010, 0.020, 0.030, 0.500]
+        for latency in latencies:
+            recorder.record_request()
+            recorder.record_completion(latency, hit=False)
+        stats = recorder.snapshot()
+        p50, p95, p99 = percentiles(latencies, (50.0, 95.0, 99.0))
+        assert stats.latency_p50 == p50
+        assert stats.latency_p95 == p95
+        assert stats.latency_p99 == p99
+        # ServerStats quantiles and the embedded TimingReport agree.
+        assert stats.timing.p50 == stats.latency_p50
+        assert stats.timing.p99 == stats.latency_p99
+
+    def test_reset_only_touches_serve_metrics(self):
+        from repro.obs import MetricsRegistry
+        from repro.serve.stats import StatsRecorder
+
+        registry = MetricsRegistry()
+        registry.counter("train.steps").inc(3)
+        recorder = StatsRecorder(registry=registry)
+        recorder.record_request()
+        recorder.reset()
+        assert registry.counter("serve.requests").value == 0
+        assert registry.counter("train.steps").value == 3
+
+    def test_batch_spans_recorded_while_collecting(self):
+        from repro.obs import collect_spans
+
+        stub = StubGrounder()
+        with collect_spans() as spans:
+            with ServeEngine(stub, max_batch=2) as engine:
+                engine.ground(make_image(3), "q", timeout=10)
+        assert spans.calls.get("serve.batch", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# No-graph inference regression
+# ----------------------------------------------------------------------
+class TestInferenceAllocatesNoGraph:
+    def test_predict_builds_no_grad_tensors(self, tiny_grounder):
+        from tests.conftest import record_grad_children
+
+        grounder, dataset = tiny_grounder
+        sample = dataset["val"][0]
+        with record_grad_children() as tracked:
+            grounder.ground(sample.image, sample.query)
+        assert tracked == [], (
+            f"inference allocated {len(tracked)} grad-tracked tensors"
+        )
+
+    def test_serve_engine_builds_no_grad_tensors(self, tiny_grounder):
+        from tests.conftest import record_grad_children
+
+        grounder, dataset = tiny_grounder
+        sample = dataset["val"][0]
+        with record_grad_children() as tracked:
+            with grounder.serve() as engine:
+                engine.ground(sample.image, sample.query, timeout=30)
+        assert tracked == []

@@ -175,3 +175,30 @@ class TestPipeline:
             SegmentationProposer(), {"speaker": speaker, "listener": listener}
         )
         assert grounder.name == "speaker+listener"
+
+    def test_stage_spans_recorded(self, dataset, matcher_kwargs):
+        from repro.obs import collect_spans
+
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        grounder = TwoStageGrounder(
+            SegmentationProposer(rng=np.random.default_rng(5)),
+            {"listener": listener},
+        )
+        with collect_spans() as spans:
+            grounder.ground_sample(dataset["val"][0])
+        assert spans.calls.get("twostage.propose") == 1
+        assert spans.calls.get("twostage.match") == 1
+
+    def test_matching_builds_no_grad_tensors(self, dataset, matcher_kwargs):
+        from tests.conftest import record_grad_children
+
+        listener = ListenerMatcher(dataset.vocab, **matcher_kwargs)
+        grounder = TwoStageGrounder(
+            SegmentationProposer(rng=np.random.default_rng(6)),
+            {"listener": listener},
+        )
+        with record_grad_children() as tracked:
+            grounder.ground_sample(dataset["val"][0])
+        assert tracked == [], (
+            f"two-stage inference allocated {len(tracked)} grad-tracked tensors"
+        )
