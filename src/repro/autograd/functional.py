@@ -9,7 +9,7 @@ slices, which keeps both directions vectorised.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -24,17 +24,82 @@ def _pair(value: IntPair) -> Tuple[int, int]:
     return (int(value[0]), int(value[1]))
 
 
-def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]) -> np.ndarray:
-    """Gather kernel windows of an already-padded NCHW array."""
+#: Memoised gather indices for the fancy-indexing im2col path, keyed on
+#: (padded height, padded width, kernel, stride).  Batch and channel
+#: counts do not enter the key: the index addresses the flattened H*W
+#: plane and broadcasts over the leading (N, C) axes.
+_IM2COL_INDEX_CACHE: Dict[Tuple[int, int, int, int, int, int], np.ndarray] = {}
+_IM2COL_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Column tensors up to this many elements use the memoised single-gather
+#: path, where the per-call cost is dominated by Python/slice dispatch
+#: rather than memory bandwidth.  Larger gathers fall back to the strided
+#: slice loop, which moves big planes with contiguous copies and wins on
+#: stem-sized feature maps.
+_IM2COL_GATHER_MAX_ELEMENTS = 50_000
+
+
+def _im2col_indices(
+    h: int, w: int, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Flat H*W gather indices of shape ``(KH, KW, OH, OW)``, memoised."""
+    key = (h, w, kernel[0], kernel[1], stride[0], stride[1])
+    index = _IM2COL_INDEX_CACHE.get(key)
+    if index is None:
+        _IM2COL_CACHE_STATS["misses"] += 1
+        kh, kw = kernel
+        sh, sw = stride
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        rows = np.arange(kh)[:, None, None, None] + sh * np.arange(oh)[None, None, :, None]
+        cols = np.arange(kw)[None, :, None, None] + sw * np.arange(ow)[None, None, None, :]
+        index = rows * w + cols  # (KH, KW, OH, OW)
+        _IM2COL_INDEX_CACHE[key] = index
+    else:
+        _IM2COL_CACHE_STATS["hits"] += 1
+    return index
+
+
+def im2col_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters and entry count of the im2col index cache."""
+    return dict(_IM2COL_CACHE_STATS, entries=len(_IM2COL_INDEX_CACHE))
+
+
+def clear_im2col_cache() -> None:
+    """Drop memoised im2col indices and reset the hit/miss counters."""
+    _IM2COL_INDEX_CACHE.clear()
+    _IM2COL_CACHE_STATS["hits"] = 0
+    _IM2COL_CACHE_STATS["misses"] = 0
+
+
+def _im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    out: np.ndarray = None,
+) -> np.ndarray:
+    """Gather kernel windows of an already-padded NCHW array.
+
+    Small column tensors take a single fancy gather driven by memoised
+    indices; large ones take the strided slice loop (see
+    ``_IM2COL_GATHER_MAX_ELEMENTS``).  Both produce bitwise-identical
+    columns — the choice is purely a speed heuristic.  ``out``, when
+    given, must be a contiguous ``(N, C, KH, KW, OH, OW)`` buffer and is
+    filled in place (used by the graph executor's arena).
+    """
     n, c, h, w = x.shape
     kh, kw = kernel
     sh, sw = stride
     oh = (h - kh) // sh + 1
     ow = (w - kw) // sw + 1
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            cols[:, :, i, j] = x[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype) if out is None else out
+    if cols.size <= _IM2COL_GATHER_MAX_ELEMENTS and x.flags.c_contiguous:
+        index = _im2col_indices(h, w, kernel, stride)
+        np.take(x.reshape(n, c, h * w), index, axis=2, out=cols)
+    else:
+        for i in range(kh):
+            for j in range(kw):
+                cols[:, :, i, j] = x[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
     return cols
 
 

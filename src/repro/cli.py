@@ -150,11 +150,14 @@ def cmd_serve_bench(args) -> int:
         model.load(args.model)
     model.eval()
     grounder = Grounder(model, dataset.vocab)
+    if args.compiled:
+        grounder.compile()
     pool = list(dataset["val"]) or list(dataset["train"])
     trace = synthetic_trace(pool, args.requests,
                             repeat_fraction=args.repeat_fraction)
 
-    # Warm both paths (JIT-free, but first calls touch allocation paths).
+    # Warm both paths (first calls touch allocation paths; with
+    # --compiled this also builds the single-sample plan).
     grounder.ground(trace[0].image, trace[0].query)
 
     start = time.perf_counter()
@@ -171,6 +174,8 @@ def cmd_serve_bench(args) -> int:
         stats = engine.stats()
 
     batched_qps = len(trace) / batched_seconds
+    mode = "compiled" if args.compiled else "eager"
+    print(f"forward mode: {mode}")
     print(f"one-at-a-time: {len(trace)} requests in {baseline_seconds:.3f}s "
           f"({baseline_qps:.1f} qps)")
     print(f"micro-batched: {len(trace)} requests in {batched_seconds:.3f}s "
@@ -208,9 +213,13 @@ def cmd_profile(args) -> int:
 
         model.eval()
         grounder = Grounder(model, dataset.vocab)
+        if args.compiled:
+            grounder.compile()
         pool = list(dataset["val"]) or list(dataset["train"])
         samples = pool[: args.requests]
-        grounder.ground_batch(samples[:1])  # warm allocation paths
+        # Warm allocation paths (and with --compiled, build the plan
+        # before profiling so the trace shows steady-state replay).
+        grounder.ground_batch(samples[:1])
         with profile() as prof:
             for sample in samples:
                 grounder.ground_batch([sample])
@@ -220,6 +229,8 @@ def cmd_profile(args) -> int:
 
         model.eval()
         grounder = Grounder(model, dataset.vocab)
+        if args.compiled:
+            grounder.compile()
         pool = list(dataset["val"]) or list(dataset["train"])
         trace = synthetic_trace(pool, args.requests, repeat_fraction=0.3)
         grounder.ground(trace[0].image, trace[0].query)  # warm
@@ -312,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds to wait for batch stragglers")
     serve_bench.add_argument("--cache-size", type=int, default=256,
                              help="LRU result-cache entries (0 disables)")
+    serve_bench.add_argument("--compiled", action="store_true",
+                             help="serve through graph-compiled plans "
+                                  "(trace once per batch shape, replay)")
     serve_bench.set_defaults(func=cmd_serve_bench)
 
     prof = sub.add_parser(
@@ -334,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows in the hot-op table")
     prof.add_argument("--out", default=None,
                       help="Chrome trace path (default profile-<target>.json)")
+    prof.add_argument("--compiled", action="store_true",
+                      help="profile graph-compiled inference "
+                           "(infer/serve targets only)")
     prof.set_defaults(func=cmd_profile, scale=0.1)
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")

@@ -31,6 +31,22 @@ class Grounder:
     def max_query_length(self) -> int:
         return self.model.config.max_query_length
 
+    def compile(self, max_plans: int = 32) -> "Grounder":
+        """Enable compiled inference on the wrapped model (see
+        :meth:`repro.core.yollo.YolloModel.compile`)."""
+        self.model.eval()
+        self.model.compile(max_plans=max_plans)
+        return self
+
+    def uncompile(self) -> "Grounder":
+        self.model.uncompile()
+        return self
+
+    @property
+    def plan_cache(self):
+        """The model's active plan cache, or ``None`` when eager."""
+        return self.model.plan_cache
+
     def ground(self, image: np.ndarray, query: str) -> GroundingPrediction:
         """Locate the object a natural-language ``query`` refers to.
 

@@ -55,6 +55,30 @@ def _relation_weight_mask(
     return weights * block[None]
 
 
+def _attention_normalizers(
+    weights: np.ndarray, num_regions: int, balanced: bool
+) -> Tuple[np.ndarray, ...]:
+    """Divisor arrays for the relation-map averages.
+
+    ``balanced`` returns the four per-block divisors (image/query columns
+    then rows); otherwise the two whole-axis divisors.  Kept as one plain
+    numpy function (rather than inline expressions) so the graph tracer
+    can capture the token-mask-dependent normalisers as a single node.
+    """
+    m = num_regions
+    if balanced:
+        return (
+            np.maximum(weights[:, :m, :].sum(axis=1), 1.0),
+            np.maximum(weights[:, m:, :].sum(axis=1), 1.0),
+            np.maximum(weights[:, :, :m].sum(axis=2), 1.0),
+            np.maximum(weights[:, :, m:].sum(axis=2), 1.0),
+        )
+    return (
+        np.maximum(weights.sum(axis=1), 1.0),
+        np.maximum(weights.sum(axis=2), 1.0),
+    )
+
+
 class Rel2AttModule(Module):
     """One Rel2Att block: relation map -> attention masks -> re-weighting."""
 
@@ -100,6 +124,9 @@ class Rel2AttModule(Module):
             self.config.use_self_attention, self.config.use_co_attention,
         )
         masked = relation * Tensor(weights)
+        normalizers = _attention_normalizers(
+            weights, m, self.config.block_balanced_attention
+        )
         if self.config.block_balanced_attention:
             # Average each block of R separately before summing, so the
             # co-attention blocks (n entries) carry the same weight as
@@ -108,23 +135,17 @@ class Rel2AttModule(Module):
             # att_v is diluted by m/n ~ 15x and grounding barely
             # conditions on the language.
             att_cols = (
-                masked[:, :m, :].sum(axis=1)
-                / Tensor(np.maximum(weights[:, :m, :].sum(axis=1), 1.0))
-                + masked[:, m:, :].sum(axis=1)
-                / Tensor(np.maximum(weights[:, m:, :].sum(axis=1), 1.0))
+                masked[:, :m, :].sum(axis=1) / Tensor(normalizers[0])
+                + masked[:, m:, :].sum(axis=1) / Tensor(normalizers[1])
             )
             att_rows = (
-                masked[:, :, :m].sum(axis=2)
-                / Tensor(np.maximum(weights[:, :, :m].sum(axis=2), 1.0))
-                + masked[:, :, m:].sum(axis=2)
-                / Tensor(np.maximum(weights[:, :, m:].sum(axis=2), 1.0))
+                masked[:, :, :m].sum(axis=2) / Tensor(normalizers[2])
+                + masked[:, :, m:].sum(axis=2) / Tensor(normalizers[3])
             )
         else:
             # Strict Eq. (3)-(4) reading: plain masked means over each axis.
-            col_counts = np.maximum(weights.sum(axis=1), 1.0)  # (B, k)
-            row_counts = np.maximum(weights.sum(axis=2), 1.0)
-            att_cols = masked.sum(axis=1) / Tensor(col_counts)
-            att_rows = masked.sum(axis=2) / Tensor(row_counts)
+            att_cols = masked.sum(axis=1) / Tensor(normalizers[0])
+            att_rows = masked.sum(axis=2) / Tensor(normalizers[1])
         att = (att_cols + att_rows) * self.att_gain  # (B, k)
 
         att_v = att[:, :m]

@@ -62,6 +62,91 @@ class YolloModel(Module):
     def anchor_grid(self):
         return self.detector.anchor_grid
 
+    # ------------------------------------------------------------------
+    # Compiled inference
+    # ------------------------------------------------------------------
+    def compile(self, max_plans: int = 32) -> "YolloModel":
+        """Enable compiled inference: trace once per input shape, replay.
+
+        ``predict`` keeps its exact eager semantics (plans are validated
+        bit-exact against the trace at build time) but runs the forward
+        pass through a :class:`repro.graph.ExecutionPlan` — constant
+        folding, BatchNorm folding, epilogue fusion, and arena buffer
+        reuse — compiled lazily per input shape ``(B, H, W, L)`` and
+        cached in a :class:`repro.graph.PlanCache`.
+        """
+        from repro.graph import PlanCache
+
+        self._plan_cache = PlanCache(max_plans=max_plans)
+        return self
+
+    def uncompile(self) -> "YolloModel":
+        """Drop compiled plans and return to eager ``predict``."""
+        self._plan_cache = None
+        return self
+
+    @property
+    def plan_cache(self):
+        """The active :class:`repro.graph.PlanCache`, or ``None``."""
+        return getattr(self, "_plan_cache", None)
+
+    def _plan_key(self, images: np.ndarray, token_ids: np.ndarray,
+                  token_mask: Optional[np.ndarray]) -> tuple:
+        return (
+            tuple(images.shape),
+            tuple(token_ids.shape),
+            token_mask is None,
+            str(np.asarray(images).dtype),
+        )
+
+    def _compiled_forward(self, images: np.ndarray, token_ids: np.ndarray,
+                          token_mask: Optional[np.ndarray]) -> YolloOutput:
+        """Run ``forward`` through a cached execution plan (eval only).
+
+        On a cache miss the forward pass is traced, optimised, and
+        compiled; the compile time is recorded on the cache so callers
+        (e.g. the serving engine) can attribute it separately from
+        execution time.
+        """
+        import time as _time
+
+        from repro.graph import ExecutionPlan, optimize_graph, trace
+
+        cache = self._plan_cache
+        key = self._plan_key(images, token_ids, token_mask)
+        plan = cache.get(key)
+        if plan is None:
+            start = _time.perf_counter()
+            traced = trace(
+                self.forward, Tensor(images), token_ids, token_mask,
+                name="yollo.forward",
+            )
+            optimize_graph(traced.graph)
+            plan = ExecutionPlan(traced)
+            cache.store(key, plan, (_time.perf_counter() - start) * 1e3)
+        # Keep the eager span name so model-time attribution (e.g.
+        # eval.timing MODEL_SPANS) sees compiled runs as forward time.
+        with trace_span("yollo.forward"):
+            return plan.run(Tensor(images), token_ids, token_mask)
+
+    def train(self, mode: bool = True) -> "YolloModel":
+        # Plans bake eval-mode state (BN running stats fold to
+        # constants), so any return to training invalidates them.
+        if mode:
+            cache = getattr(self, "_plan_cache", None)
+            if cache is not None:
+                cache.clear()
+        super().train(mode)
+        return self
+
+    def load_state_dict(self, state) -> None:
+        # New weights invalidate every compiled plan: constants hold the
+        # traced arrays by reference and folded BN stats are snapshots.
+        super().load_state_dict(state)
+        cache = getattr(self, "_plan_cache", None)
+        if cache is not None:
+            cache.clear()
+
     def forward(self, images: Tensor, token_ids: np.ndarray,
                 token_mask: Optional[np.ndarray] = None) -> YolloOutput:
         with trace_span("yollo.forward"):
@@ -90,7 +175,10 @@ class YolloModel(Module):
         was_training = self.training
         self.eval()
         with no_grad():
-            output = self.forward(Tensor(images), token_ids, token_mask)
+            if getattr(self, "_plan_cache", None) is not None:
+                output = self._compiled_forward(images, token_ids, token_mask)
+            else:
+                output = self.forward(Tensor(images), token_ids, token_mask)
             with trace_span("yollo.decode"):
                 probs = softmax(output.cls_logits, axis=-1).data[..., 1]  # (B, A)
                 offsets = output.reg_offsets.data

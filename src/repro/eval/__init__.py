@@ -7,7 +7,13 @@ from repro.eval.metrics import (
     evaluate_grounder,
     mean_iou,
 )
-from repro.eval.timing import TimingReport, summarize_latencies, time_grounder
+from repro.eval.timing import (
+    EagerCompiledComparison,
+    TimingReport,
+    compare_eager_compiled,
+    summarize_latencies,
+    time_grounder,
+)
 from repro.eval.curves import TrainingCurve
 from repro.eval.reporting import format_table
 
@@ -20,6 +26,8 @@ __all__ = [
     "time_grounder",
     "summarize_latencies",
     "TimingReport",
+    "EagerCompiledComparison",
+    "compare_eager_compiled",
     "TrainingCurve",
     "format_table",
 ]

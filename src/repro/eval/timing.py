@@ -115,3 +115,67 @@ def time_grounder(
     return summarize_latencies(
         durations, proposal_mean=proposal_mean, model_mean=model_mean
     )
+
+
+@dataclass
+class EagerCompiledComparison:
+    """Eager vs compiled inference timing for one grounder."""
+
+    eager: TimingReport
+    compiled: TimingReport
+    compile_ms: float  #: one-time plan compilation cost (all plans)
+    plans: int  #: plans compiled during the measurement
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end eager/compiled latency ratio (>1 = compiled wins)."""
+        return self.eager.mean / max(self.compiled.mean, 1e-12)
+
+    @property
+    def model_speedup(self) -> float:
+        """Forward-pass-only ratio (decode/dispatch overhead excluded)."""
+        return self.eager.model_mean / max(self.compiled.model_mean, 1e-12)
+
+    def render(self) -> str:
+        return (
+            f"eager    {self.eager.mean * 1e3:.2f}ms/query "
+            f"(model {self.eager.model_mean * 1e3:.2f}ms)\n"
+            f"compiled {self.compiled.mean * 1e3:.2f}ms/query "
+            f"(model {self.compiled.model_mean * 1e3:.2f}ms)\n"
+            f"speedup  {self.speedup:.2f}x end-to-end, "
+            f"{self.model_speedup:.2f}x model, "
+            f"{self.plans} plan(s) compiled in {self.compile_ms:.1f}ms"
+        )
+
+
+def compare_eager_compiled(
+    grounder,
+    samples: Sequence[GroundingSample],
+    warmup: int = 2,
+) -> EagerCompiledComparison:
+    """Time a :class:`repro.core.Grounder` eager, then compiled.
+
+    The grounder is compiled for the measurement and restored to its
+    original mode afterwards.  Compilation happens during the compiled
+    pass's warmup, so plan-build time never pollutes the timed samples;
+    it is reported separately as ``compile_ms``.
+    """
+    was_compiled = getattr(grounder, "plan_cache", None) is not None
+    grounder.uncompile()
+    try:
+        eager = time_grounder(grounder.ground_batch, samples, warmup=warmup)
+        grounder.compile()
+        compiled = time_grounder(
+            grounder.ground_batch, samples, warmup=max(warmup, 1)
+        )
+        cache = grounder.plan_cache
+        events = cache.drain_compile_events()
+        return EagerCompiledComparison(
+            eager=eager,
+            compiled=compiled,
+            compile_ms=float(sum(ms for _key, ms in events)),
+            plans=len(events),
+        )
+    finally:
+        if not was_compiled:
+            grounder.uncompile()

@@ -41,12 +41,24 @@ def collect(context: ExperimentContext) -> Dict[str, TimingReport]:
                             ("resnet101", "YOLLO (ResNet-101 C4 backbone)")):
         if backbone == "resnet50":
             _, grounder, _ = context.yollo(DATASET)
+            yollo50 = grounder
         else:
             _, grounder, _ = context.yollo(
                 DATASET, tag="timing-resnet101",
                 epochs=0, backbone="resnet101",
             )
         results[label] = time_grounder(grounder.ground_batch, samples)
+
+    # Graph-compiled variant of the ResNet-50 row: same weights, same
+    # bit-exact outputs, traced/fused/arena-executed forward pass.
+    yollo50.compile()
+    try:
+        yollo50.ground_batch(samples[:1])  # compile outside the timing
+        results["YOLLO (ResNet-50, compiled)"] = time_grounder(
+            yollo50.ground_batch, samples
+        )
+    finally:
+        yollo50.uncompile()
     return results
 
 

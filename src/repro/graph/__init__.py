@@ -1,0 +1,63 @@
+"""Traced inference graphs: IR, optimisation passes, planned execution.
+
+This subsystem turns one eager forward pass of a model built on
+:mod:`repro.autograd` into a static plan that replays the same numpy
+arithmetic without rebuilding the dynamic tape:
+
+- :mod:`repro.graph.ir` — the graph IR: :class:`Node` (input / constant
+  / op) and :class:`Graph` (nodes in execution order, explicit tensor
+  edges).
+- :mod:`repro.graph.trace` — :func:`trace` runs a function once under a
+  tracing context layered on the autograd op tables and records every
+  primitive op, external numpy helper, and constant it touches.
+- :mod:`repro.graph.passes` — dead-node elimination, constant folding of
+  weight subgraphs, BatchNorm folding (running-stats buffers collapse
+  into one ``bn_affine`` node), and conv/bias/BN/ReLU epilogue fusion.
+- :mod:`repro.graph.executor` — :class:`ExecutionPlan` (topologically
+  scheduled kernels, buffer-liveness analysis, a persistent arena
+  allocator that reuses output buffers, build-time kernel validation
+  against the traced values) and :class:`PlanCache` (plans keyed on
+  input shapes, so dynamic serving batches compile once per shape).
+
+Bit-exactness is the contract: every kernel replicates the eager numpy
+arithmetic operation for operation, and plan construction verifies each
+kernel's output bitwise against the traced value, falling back to eager
+replay for any node that disagrees.
+
+Quickstart::
+
+    model.eval().compile()                    # YolloModel
+    predictions = model.predict(images, ids)  # plans build lazily per shape
+
+    from repro.graph import trace, optimize_graph, ExecutionPlan
+    traced = trace(fn, x)                     # any Tensor function
+    optimize_graph(traced.graph)
+    plan = ExecutionPlan(traced)
+    y = plan.run(x.data)
+"""
+
+from repro.graph.ir import Graph, Node
+from repro.graph.trace import TracedGraph, TraceError, trace
+from repro.graph.passes import (
+    eliminate_dead_nodes,
+    fold_batchnorm,
+    fold_constants,
+    fuse_epilogues,
+    optimize_graph,
+)
+from repro.graph.executor import ExecutionPlan, PlanCache
+
+__all__ = [
+    "Graph",
+    "Node",
+    "TracedGraph",
+    "TraceError",
+    "trace",
+    "eliminate_dead_nodes",
+    "fold_batchnorm",
+    "fold_constants",
+    "fuse_epilogues",
+    "optimize_graph",
+    "ExecutionPlan",
+    "PlanCache",
+]

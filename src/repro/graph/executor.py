@@ -1,0 +1,938 @@
+"""Planned execution of traced graphs: kernels, arena, plan cache.
+
+An :class:`ExecutionPlan` compiles a :class:`~repro.graph.trace.TracedGraph`
+into a flat list of kernel closures over a slot table.  Three properties
+drive the design:
+
+**Bit-exactness.**  Every kernel replicates the eager numpy arithmetic
+operation-for-operation (``sub`` is IEEE-identical to ``add(neg)``,
+``mean`` divides by the same ``float(count)`` scalar tensor, ``softmax``
+repeats the shift/exp/sum sequence).  Plan construction *proves* this:
+each kernel is executed once on the traced input values and its output
+compared bitwise (shape, dtype, bytes) against the value the eager pass
+produced.  Any kernel that disagrees — or raises — is replaced by a
+generic eager-replay fallback reconstructed from the node's recorded
+call template, so a plan can never silently drift from eager semantics.
+
+**Allocation reuse.**  Buffer liveness analysis (aliases such as
+``reshape``/``transpose`` extend their base buffer's lifetime) feeds a
+persistent arena: output buffers are allocated once at build time,
+pooled by ``(dtype, element count)``, and handed to later nodes as
+earlier values die.  A node's inputs are released only *after* its own
+output buffer is acquired, so a kernel never reads and writes the same
+storage.  Convolutions additionally carry private pad/column scratch
+buffers and are autotuned at build time between the memoised im2col
+path and a ``sliding_window_view`` contraction (bitwise-identical,
+shape-dependent winners).
+
+**Observability.**  When an op-level profiler is active, each kernel
+execution is recorded via :meth:`Profiler.record_op` under the node's
+(possibly fused) name — ``conv2d+bn+relu`` shows up as one op — and the
+whole replay runs inside a ``graph.execute`` trace span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.autograd.functional import _im2col, _pair
+from repro.autograd.tensor import Tensor, no_grad
+from repro.graph.ir import Graph, Node, Slot
+from repro.graph.trace import TracedGraph
+from repro.obs import trace_span
+
+#: Ops whose kernels write into pooled arena buffers via ``out=``.
+_POOLED_OPS = frozenset({
+    "add", "sub", "neg", "mul", "div", "pow", "maximum", "where",
+    "exp", "log", "tanh", "sigmoid", "relu", "abs", "clip",
+    "matmul", "concatenate", "softmax", "log_softmax",
+    "bn_affine", "conv2d", "max_pool2d",
+})
+
+#: Ops whose output is a view of their (base) input buffer.
+_VIEW_OPS = frozenset({"reshape", "transpose", "tuple_get"})
+
+
+def _is_basic_index(index: Any) -> bool:
+    """Whether ``x[index]`` is guaranteed to return a numpy view."""
+    if isinstance(index, tuple):
+        return all(_is_basic_index(item) for item in index)
+    return index is None or index is Ellipsis or isinstance(index, (int, slice))
+
+
+def _template_has_slot(template: Any) -> bool:
+    if isinstance(template, Slot):
+        return True
+    if isinstance(template, (list, tuple)):
+        return any(_template_has_slot(item) for item in template)
+    return False
+
+
+def _substitute(template: Any, values: Sequence[Any]) -> Any:
+    """Fill :class:`Slot` markers in a call template with runtime values."""
+    if isinstance(template, Slot):
+        return values[template.index]
+    if isinstance(template, (list, tuple)):
+        items = [_substitute(item, values) for item in template]
+        return items if isinstance(template, list) else tuple(items)
+    return template
+
+
+def _literal(args: Tuple, kwargs: Dict, position: int, name: str, default: Any) -> Any:
+    """Extract a non-tensor call parameter from a recorded template."""
+    if len(args) > position and not isinstance(args[position], Slot):
+        return args[position]
+    return kwargs.get(name, default)
+
+
+def _bitwise_equal(a: Any, b: Any) -> bool:
+    if not isinstance(a, np.ndarray) or not isinstance(b, np.ndarray):
+        return False
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    return np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes()
+
+
+class CompileError(RuntimeError):
+    """Raised when a traced graph cannot be planned."""
+
+
+class _Arena:
+    """Build-time buffer pool: flat arrays keyed by (dtype, element count)."""
+
+    def __init__(self):
+        self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
+        self.allocated_bytes = 0
+        self.buffer_count = 0
+        self.reuse_count = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> Tuple[np.ndarray, Tuple[str, int], np.ndarray]:
+        size = int(np.prod(shape)) if shape else 1
+        key = (str(dtype), size)
+        free = self._free.get(key)
+        if free:
+            flat = free.pop()
+            self.reuse_count += 1
+        else:
+            flat = np.empty(size, dtype=dtype)
+            self.allocated_bytes += int(flat.nbytes)
+            self.buffer_count += 1
+        return flat.reshape(shape), key, flat
+
+    def release(self, key: Tuple[str, int], flat: np.ndarray) -> None:
+        self._free.setdefault(key, []).append(flat)
+
+
+class ExecutionPlan:
+    """A compiled, replayable forward pass for one input signature."""
+
+    def __init__(self, traced: TracedGraph):
+        self.traced = traced
+        self.graph: Graph = traced.graph
+        self.fallbacks = 0
+        self.autotune: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        graph = self.graph
+        self._slot_of: Dict[int, int] = {node.id: i for i, node in enumerate(graph.nodes)}
+        self._slots: List[Any] = [None] * len(graph.nodes)
+        self._input_slots = [self._slot_of[node.id] for node in graph.inputs]
+        self._input_examples = [
+            (tuple(node.shape or ()), node.dtype) for node in graph.inputs
+        ]
+        self._output_slots = [self._slot_of[node.id] for node in graph.outputs]
+
+        for node in graph.nodes:
+            if node.is_constant:
+                self._slots[self._slot_of[node.id]] = node.value
+
+        schedule = [n for n in graph.nodes if not (n.is_input or n.is_constant)]
+        base = self._alias_bases(graph)
+        last_use = self._liveness(graph, schedule, base)
+
+        arena = _Arena()
+        owned: Dict[int, Tuple[Tuple[str, int], np.ndarray]] = {}
+        steps: List[Tuple[int, Callable[[], np.ndarray], Node]] = []
+        for position, node in enumerate(schedule):
+            out_buf = None
+            if node.op in _POOLED_OPS and node.shape is not None:
+                out_buf, key, flat = arena.acquire(node.shape, node.dtype)
+                owned[node.id] = (key, flat)
+            # Free inputs only after this node's buffer exists: a kernel
+            # must never be handed its own operand's storage as output.
+            for src_base in {base[src.id] for src in node.inputs}:
+                if last_use.get(src_base) == position and src_base in owned:
+                    key, flat = owned.pop(src_base)
+                    arena.release(key, flat)
+            kernel = self._build_kernel(node, out_buf)
+            steps.append((self._slot_of[node.id], node, kernel))
+        self.arena_bytes = arena.allocated_bytes
+        self.arena_buffers = arena.buffer_count
+        self.arena_reuses = arena.reuse_count
+
+        self._validate(steps)
+        self._steps = [
+            (slot, kernel, node.name, node.shape, node.nbytes if node.value is not None else 0)
+            for slot, node, kernel in steps
+        ]
+        # Traced activation values are no longer needed; keep constants.
+        for node in schedule:
+            node.value = None
+        self.num_kernels = len(self._steps)
+
+    def _alias_bases(self, graph: Graph) -> Dict[int, int]:
+        base: Dict[int, int] = {}
+        for node in graph.nodes:
+            if node.inputs and self._is_alias(node):
+                base[node.id] = base.get(node.inputs[0].id, node.inputs[0].id)
+            else:
+                base[node.id] = node.id
+        return base
+
+    @staticmethod
+    def _is_alias(node: Node) -> bool:
+        if node.op in _VIEW_OPS:
+            return True
+        if node.op == "index":
+            args = node.attrs.get("args", ())
+            index = args[1] if len(args) > 1 else None
+            return _is_basic_index(index)
+        if node.op == "cast":
+            src = node.inputs[0]
+            return node.dtype is not None and node.dtype == src.dtype
+        return False
+
+    def _liveness(self, graph: Graph, schedule: List[Node],
+                  base: Dict[int, int]) -> Dict[int, float]:
+        last_use: Dict[int, float] = {}
+        for position, node in enumerate(schedule):
+            for src in node.inputs:
+                last_use[base[src.id]] = position
+        for node in graph.outputs:
+            last_use[base[node.id]] = float("inf")
+        return last_use
+
+    def _validate(self, steps: List[Tuple[int, Node, Callable]]) -> None:
+        """Run every kernel on the traced values; fall back on mismatch.
+
+        After each comparison the slot is reset to the traced value, so
+        downstream kernels always validate against pristine eager inputs.
+        """
+        slots = self._slots
+        for input_node in self.graph.inputs:
+            slots[self._slot_of[input_node.id]] = input_node.value
+        for index, (slot, node, kernel) in enumerate(steps):
+            try:
+                produced = kernel()
+                ok = (
+                    _bitwise_equal(produced, node.value)
+                    if isinstance(node.value, np.ndarray)
+                    else True  # tuple-valued externals checked via tuple_get
+                )
+            except Exception:
+                ok = False
+            if not ok:
+                fallback = self._build_generic_kernel(node)
+                steps[index] = (slot, node, fallback)
+                self.fallbacks += 1
+            slots[slot] = node.value
+
+    # ------------------------------------------------------------------
+    # Kernel construction
+    # ------------------------------------------------------------------
+    def _build_kernel(self, node: Node, out: Optional[np.ndarray]) -> Callable[[], Any]:
+        slots = self._slots
+        in_slots = [self._slot_of[src.id] for src in node.inputs]
+        args = node.attrs.get("args", ())
+        kwargs = node.attrs.get("kwargs", {})
+        op = node.op
+
+        if op == "conv2d":
+            return self._build_conv_kernel(node, out)
+
+        if op in ("add", "sub", "mul", "div", "maximum"):
+            ufunc = {
+                "add": np.add, "sub": np.subtract, "mul": np.multiply,
+                "div": np.true_divide, "maximum": np.maximum,
+            }[op]
+            ia, ib = in_slots[0], in_slots[1]
+            epilogue = node.attrs.get("epilogue")
+            if epilogue:  # fused add+relu (residual shortcut)
+                def kernel_fused():
+                    ufunc(slots[ia], slots[ib], out=out)
+                    np.multiply(out, out > 0, out=out)
+                    return out
+                return kernel_fused
+
+            def kernel_binary():
+                return ufunc(slots[ia], slots[ib], out=out)
+            return kernel_binary
+
+        if op in ("neg", "exp", "log", "tanh", "abs"):
+            ufunc = {
+                "neg": np.negative, "exp": np.exp, "log": np.log,
+                "tanh": np.tanh, "abs": np.abs,
+            }[op]
+            ia = in_slots[0]
+
+            def kernel_unary():
+                return ufunc(slots[ia], out=out)
+            return kernel_unary
+
+        if op == "relu":
+            ia = in_slots[0]
+
+            def kernel_relu():
+                a = slots[ia]
+                return np.multiply(a, a > 0, out=out)
+            return kernel_relu
+
+        if op == "sigmoid":
+            ia = in_slots[0]
+
+            def kernel_sigmoid():
+                np.negative(slots[ia], out=out)
+                np.exp(out, out=out)
+                np.add(out, 1.0, out=out)
+                np.true_divide(1.0, out, out=out)
+                return out
+            return kernel_sigmoid
+
+        if op == "leaky_relu":
+            ia = in_slots[0]
+            slope = _literal(args, kwargs, 1, "negative_slope", 0.01)
+
+            def kernel_leaky():
+                a = slots[ia]
+                return a * np.where(a > 0, 1.0, slope)
+            return kernel_leaky
+
+        if op == "pow":
+            ia = in_slots[0]
+            exponent = _literal(args, kwargs, 1, "exponent", None)
+
+            def kernel_pow():
+                return np.power(slots[ia], exponent, out=out)
+            return kernel_pow
+
+        if op == "clip":
+            ia = in_slots[0]
+            low = _literal(args, kwargs, 1, "low", None)
+            high = _literal(args, kwargs, 2, "high", None)
+
+            def kernel_clip():
+                return np.clip(slots[ia], low, high, out=out)
+            return kernel_clip
+
+        if op == "where":
+            ic, ia, ib = in_slots[0], in_slots[1], in_slots[2]
+
+            def kernel_where():
+                condition = np.asarray(slots[ic], dtype=bool)
+                result = np.where(condition, slots[ia], slots[ib])
+                np.copyto(out, result)
+                return out
+            return kernel_where
+
+        if op == "matmul":
+            ia, ib = in_slots[0], in_slots[1]
+
+            def kernel_matmul():
+                return np.matmul(slots[ia], slots[ib], out=out)
+            return kernel_matmul
+
+        if op == "concatenate":
+            axis = _literal(args, kwargs, 1, "axis", 0)
+
+            def kernel_concat():
+                return np.concatenate([slots[i] for i in in_slots], axis=axis, out=out)
+            return kernel_concat
+
+        if op == "stack":
+            axis = _literal(args, kwargs, 1, "axis", 0)
+
+            def kernel_stack():
+                return np.stack([slots[i] for i in in_slots], axis=axis)
+            return kernel_stack
+
+        if op in ("softmax", "log_softmax"):
+            ia = in_slots[0]
+            axis = _literal(args, kwargs, 1, "axis", -1)
+            if op == "softmax":
+                def kernel_softmax():
+                    x = slots[ia]
+                    np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
+                    np.exp(out, out=out)
+                    np.true_divide(out, out.sum(axis=axis, keepdims=True), out=out)
+                    return out
+                return kernel_softmax
+
+            def kernel_log_softmax():
+                x = slots[ia]
+                np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
+                log_sum = np.log(np.exp(out).sum(axis=axis, keepdims=True))
+                np.subtract(out, log_sum, out=out)
+                return out
+            return kernel_log_softmax
+
+        if op in ("sum", "max"):
+            ia = in_slots[0]
+            axis = _literal(args, kwargs, 1, "axis", None)
+            keepdims = _literal(args, kwargs, 2, "keepdims", False)
+            reducer = "sum" if op == "sum" else "max"
+
+            def kernel_reduce():
+                return getattr(slots[ia], reducer)(axis=axis, keepdims=keepdims)
+            return kernel_reduce
+
+        if op in ("mean", "var"):
+            return self._build_mean_var_kernel(node, in_slots, args, kwargs)
+
+        if op == "bn_affine":
+            ix = in_slots[0]
+            mean, denom, scale, shift = (node.inputs[i].value for i in range(1, 5))
+
+            def kernel_bn():
+                np.subtract(slots[ix], mean, out=out)
+                np.true_divide(out, denom, out=out)
+                np.multiply(out, scale, out=out)
+                np.add(out, shift, out=out)
+                return out
+            return kernel_bn
+
+        if op == "reshape":
+            ia = in_slots[0]
+            shape = args[1:] if len(args) > 1 else (kwargs.get("shape"),)
+            if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+                shape = tuple(shape[0])
+
+            def kernel_reshape():
+                return slots[ia].reshape(shape)
+            return kernel_reshape
+
+        if op == "transpose":
+            ia = in_slots[0]
+            axes = args[1:]
+            ndim = len(node.inputs[0].shape or ())
+            if not axes:
+                axes = tuple(reversed(range(ndim)))
+            elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+                axes = tuple(axes[0])
+
+            def kernel_transpose():
+                return slots[ia].transpose(axes)
+            return kernel_transpose
+
+        if op == "index":
+            ia = in_slots[0]
+            index = args[1] if len(args) > 1 else None
+            if _template_has_slot(index):
+                return self._build_generic_kernel(node)
+
+            def kernel_index():
+                return slots[ia][index]
+            return kernel_index
+
+        if op == "tuple_get":
+            ia = in_slots[0]
+            position = node.attrs["index"]
+
+            def kernel_tuple_get():
+                return slots[ia][position]
+            return kernel_tuple_get
+
+        if op == "cast":
+            ia = in_slots[0]
+
+            def kernel_cast():
+                from repro.autograd.tensor import DEFAULT_DTYPE
+                array = np.asarray(slots[ia])
+                if array.dtype.kind == "f" and array.dtype != DEFAULT_DTYPE:
+                    array = array.astype(DEFAULT_DTYPE)
+                return array
+            return kernel_cast
+
+        if op == "embedding_lookup":
+            iw, ii = in_slots[0], in_slots[1]
+
+            def kernel_embedding():
+                return slots[iw][np.asarray(slots[ii], dtype=np.int64)]
+            return kernel_embedding
+
+        if op == "pad2d":
+            return self._build_pad_kernel(node, in_slots, args, kwargs)
+
+        if op in ("max_pool2d", "avg_pool2d"):
+            return self._build_pool_kernel(node, in_slots, args, kwargs, out)
+
+        if op == "external":
+            fn = node.attrs["fn"]
+            arg_t, kw_t = node.attrs.get("args", ()), node.attrs.get("kwargs", {})
+
+            def kernel_external():
+                values = [slots[i] for i in in_slots]
+                call_args = _substitute(arg_t, values)
+                call_kwargs = {k: _substitute(v, values) for k, v in kw_t.items()}
+                return fn(*call_args, **call_kwargs)
+            return kernel_external
+
+        return self._build_generic_kernel(node)
+
+    def _build_mean_var_kernel(self, node: Node, in_slots: List[int],
+                               args: Tuple, kwargs: Dict) -> Callable[[], np.ndarray]:
+        slots = self._slots
+        ia = in_slots[0]
+        axis = _literal(args, kwargs, 1, "axis", None)
+        keepdims = _literal(args, kwargs, 2, "keepdims", False)
+        in_shape = node.inputs[0].shape or ()
+        if axis is None:
+            count = int(np.prod(in_shape)) if in_shape else 1
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([in_shape[ax] for ax in axes]))
+        # Eager mean divides by ``Tensor(float(count))``; replicate its
+        # payload (0-d array in the active dtype) for bit-exact division.
+        divisor = np.asarray(float(count))
+        if node.dtype is not None and divisor.dtype != node.dtype:
+            divisor = divisor.astype(node.dtype)
+
+        if node.op == "mean":
+            def kernel_mean():
+                return slots[ia].sum(axis=axis, keepdims=keepdims) / divisor
+            return kernel_mean
+
+        def kernel_var():
+            x = slots[ia]
+            mean = x.sum(axis=axis, keepdims=True) / divisor
+            centered = x + np.negative(mean)
+            squared = centered * centered
+            return squared.sum(axis=axis, keepdims=keepdims) / divisor
+        return kernel_var
+
+    def _build_pad_kernel(self, node: Node, in_slots: List[int],
+                          args: Tuple, kwargs: Dict) -> Callable[[], np.ndarray]:
+        slots = self._slots
+        ia = in_slots[0]
+        ph, pw = _pair(_literal(args, kwargs, 1, "padding", 0))
+        in_shape = node.inputs[0].shape
+        buffer = np.zeros(node.shape, dtype=node.dtype)
+        h, w = in_shape[2], in_shape[3]
+
+        def kernel_pad():
+            buffer[:, :, ph:ph + h, pw:pw + w] = slots[ia]
+            return buffer
+        return kernel_pad
+
+    def _build_pool_kernel(self, node: Node, in_slots: List[int],
+                           args: Tuple, kwargs: Dict,
+                           out: Optional[np.ndarray]) -> Callable[[], np.ndarray]:
+        slots = self._slots
+        ia = in_slots[0]
+        kernel_size = _pair(_literal(args, kwargs, 1, "kernel", None))
+        stride_arg = _literal(args, kwargs, 2, "stride", None)
+        stride = kernel_size if stride_arg is None else _pair(stride_arg)
+        n, c, h, w = node.inputs[0].shape
+        kh, kw = kernel_size
+        sh, sw = stride
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+
+        if node.op == "max_pool2d":
+            # Inference needs the max values only, not argmax indices.  A
+            # running first-max-wins comparison over the kernel offsets
+            # (flat row-major order) replicates eager's
+            # ``take_along_axis(argmax)`` exactly: strict ``>`` keeps the
+            # earliest window on ties, which is argmax's tie rule.  (The
+            # one divergence is NaN activations, where argmax treats NaN
+            # as the maximum; build-time validation covers the traced
+            # batch and NaN activations mean the model is already broken.)
+            offsets = [(i, j) for i in range(kh) for j in range(kw)]
+            mask_buf = np.empty((n, c, oh, ow), dtype=bool)
+            # Producers may hand us a transposed view (the conv kernels'
+            # "view" variants); one contiguising copy beats kh*kw strided
+            # traversals and changes no values.
+            contig_buf = np.empty((n, c, h, w), dtype=node.inputs[0].dtype)
+
+            def kernel_max_pool():
+                x = slots[ia]
+                if not x.flags.c_contiguous:
+                    np.copyto(contig_buf, x)
+                    x = contig_buf
+                i0, j0 = offsets[0]
+                np.copyto(out, x[:, :, i0:i0 + sh * oh:sh, j0:j0 + sw * ow:sw])
+                for i, j in offsets[1:]:
+                    window = x[:, :, i:i + sh * oh:sh, j:j + sw * ow:sw]
+                    np.greater(window, out, out=mask_buf)
+                    np.copyto(out, window, where=mask_buf)
+                return out
+            return kernel_max_pool
+
+        cols_buf = np.empty((n, c, kh, kw, oh, ow), dtype=node.inputs[0].dtype)
+
+        def kernel_avg_pool():
+            cols = _im2col(slots[ia], kernel_size, stride, out=cols_buf)
+            return cols.mean(axis=(2, 3))
+        return kernel_avg_pool
+
+    # -- convolution ----------------------------------------------------
+    def _build_conv_kernel(self, node: Node, out: np.ndarray) -> Callable[[], np.ndarray]:
+        slots = self._slots
+        args = node.attrs.get("args", ())
+        kwargs = node.attrs.get("kwargs", {})
+        x_node, w_node = node.inputs[0], node.inputs[1]
+        if not w_node.is_constant:
+            return self._build_generic_kernel(node)
+        ix = self._slot_of[x_node.id]
+        weight = w_node.value
+        stride = _pair(_literal(args, kwargs, 3, "stride", 1))
+        ph, pw = _pair(_literal(args, kwargs, 4, "padding", 0))
+        bias_slot = args[2] if len(args) > 2 else kwargs.get("bias")
+        bias = None
+        if isinstance(bias_slot, Slot):
+            bias_node = node.inputs[bias_slot.index]
+            if not bias_node.is_constant:
+                return self._build_generic_kernel(node)
+            bias = bias_node.value
+
+        epilogue = self._build_nhwc_epilogue(node, bias)
+        n, c, h, w = x_node.shape
+        kh, kw = weight.shape[2], weight.shape[3]
+        hp, wp = h + 2 * ph, w + 2 * pw
+        sh, sw = stride
+        oh = (hp - kh) // sh + 1
+        ow = (wp - kw) // sw + 1
+
+        pad_buf = np.zeros((n, c, hp, wp), dtype=x_node.dtype) if (ph or pw) else None
+        cols_buf = np.empty((n, c, kh, kw, oh, ow), dtype=x_node.dtype)
+        # Unpadded convs (1x1 heads) may receive transposed views from a
+        # "view"-variant producer; gather paths want contiguous input.
+        contig_buf = None if pad_buf is not None else np.empty(
+            (n, c, h, w), dtype=x_node.dtype
+        )
+
+        def padded() -> np.ndarray:
+            x = slots[ix]
+            if pad_buf is None:
+                if x.flags.c_contiguous:
+                    return x
+                np.copyto(contig_buf, x)
+                return contig_buf
+            pad_buf[:, :, ph:ph + h, pw:pw + w] = x
+            return pad_buf
+
+        def conv_im2col() -> np.ndarray:
+            cols = _im2col(padded(), (kh, kw), stride, out=cols_buf)
+            tmp = np.tensordot(cols, weight, axes=([1, 2, 3], [1, 2, 3]))
+            epilogue(tmp)
+            np.copyto(out, tmp.transpose(0, 3, 1, 2))
+            return out
+
+        def conv_swv() -> np.ndarray:
+            view = sliding_window_view(padded(), (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+            tmp = np.tensordot(view, weight, axes=([1, 4, 5], [1, 2, 3]))
+            epilogue(tmp)
+            np.copyto(out, tmp.transpose(0, 3, 1, 2))
+            return out
+
+        # "view" variants skip the NCHW materialisation: the contraction
+        # output is fresh memory each call, so handing consumers a
+        # transposed view is safe, and every downstream kernel is either
+        # elementwise, a copying pad/gather, or a BLAS call that
+        # contiguises its operands — all layout-independent bitwise.
+        def conv_im2col_view() -> np.ndarray:
+            cols = _im2col(padded(), (kh, kw), stride, out=cols_buf)
+            tmp = np.tensordot(cols, weight, axes=([1, 2, 3], [1, 2, 3]))
+            epilogue(tmp)
+            return tmp.transpose(0, 3, 1, 2)
+
+        def conv_swv_view() -> np.ndarray:
+            view = sliding_window_view(padded(), (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+            tmp = np.tensordot(view, weight, axes=([1, 4, 5], [1, 2, 3]))
+            epilogue(tmp)
+            return tmp.transpose(0, 3, 1, 2)
+
+        # "gemm" gathers straight into the (N*OH*OW, C*KH*KW) layout the
+        # contraction wants, so np.dot runs with zero internal copies —
+        # tensordot would first transpose-copy the (N,C,KH,KW,OH,OW)
+        # columns.  The 2-D operands are bitwise identical to
+        # tensordot's, hence so is the product.
+        f = weight.shape[0]
+        contraction = c * kh * kw
+        c_off = (np.arange(c) * hp * wp)[None, None, :, None, None]
+        row_off = (
+            (sh * np.arange(oh))[:, None, None, None, None]
+            + np.arange(kh)[None, None, None, :, None]
+        ) * wp
+        col_off = (
+            (sw * np.arange(ow))[None, :, None, None, None]
+            + np.arange(kw)[None, None, None, None, :]
+        )
+        gemm_index = (c_off + row_off + col_off).reshape(-1)
+        weight_t = np.ascontiguousarray(
+            weight.reshape(f, contraction).T
+        )
+        gemm_cols = np.empty((n, gemm_index.size), dtype=x_node.dtype)
+        gemm_out = np.empty((n * oh * ow, f), dtype=node.dtype)
+
+        def conv_gemm() -> np.ndarray:
+            flat = padded().reshape(n, c * hp * wp)
+            np.take(flat, gemm_index, axis=1, out=gemm_cols)
+            a = gemm_cols.reshape(n * oh * ow, contraction)
+            np.dot(a, weight_t, out=gemm_out)
+            tmp = gemm_out.reshape(n, oh, ow, f)
+            epilogue(tmp)
+            return tmp.transpose(0, 3, 1, 2)
+
+        kernel = self._autotune_conv(
+            node,
+            ("im2col", conv_im2col),
+            ("swv", conv_swv),
+            ("im2col-view", conv_im2col_view),
+            ("swv-view", conv_swv_view),
+            ("gemm", conv_gemm),
+        )
+        return kernel
+
+    def _build_nhwc_epilogue(self, node: Node, bias: Optional[np.ndarray]) -> Callable:
+        """In-place epilogue on the (N, OH, OW, F) contraction output.
+
+        Bias, folded BN, and ReLU are elementwise along the channel axis,
+        so applying them channels-last before the single NCHW copy gives
+        bitwise-identical values to the eager NCHW sequence while saving
+        one full-tensor allocation per fused op.
+        """
+        steps: List[Callable[[np.ndarray], None]] = []
+        if bias is not None:
+            bias_last = bias.reshape(-1)
+            steps.append(lambda t: np.add(t, bias_last, out=t))
+        for step in node.attrs.get("epilogue", ()):
+            if step["op"] == "bn_affine":
+                mean, denom, scale, shift = (
+                    node.inputs[i].value.reshape(-1) for i in step["slots"]
+                )
+
+                def bn_step(t, m=mean, d=denom, s=scale, b=shift):
+                    np.subtract(t, m, out=t)
+                    np.true_divide(t, d, out=t)
+                    np.multiply(t, s, out=t)
+                    np.add(t, b, out=t)
+                steps.append(bn_step)
+            elif step["op"] == "relu":
+                steps.append(lambda t: np.multiply(t, t > 0, out=t))
+
+        def apply(tmp: np.ndarray) -> None:
+            for fn in steps:
+                fn(tmp)
+        return apply
+
+    def _autotune_conv(self, node: Node,
+                       *variants) -> Callable[[], np.ndarray]:
+        """Pick the fastest of several bitwise-identical conv strategies.
+
+        Measured on the traced input values at build time; the losers
+        are discarded.  Any candidate that fails bitwise validation is
+        rejected here rather than waiting for the generic validator.
+        """
+        ix = self._slot_of[node.inputs[0].id]
+        saved = self._slots[ix]
+        self._slots[ix] = node.inputs[0].value
+        try:
+            candidates = []
+            for name, fn in variants:
+                try:
+                    result = fn()
+                    if not _bitwise_equal(result, node.value):
+                        continue
+                    best = float("inf")
+                    for _ in range(2):
+                        start = time.perf_counter()
+                        fn()
+                        best = min(best, time.perf_counter() - start)
+                    candidates.append((best, name, fn))
+                except Exception:
+                    continue
+        finally:
+            self._slots[ix] = saved
+        if not candidates:
+            return self._build_generic_kernel(node)
+        candidates.sort(key=lambda item: item[0])
+        _, name, fn = candidates[0]
+        self.autotune[f"%{node.id}:{node.name}"] = name
+        return fn
+
+    # -- generic eager replay -------------------------------------------
+    def _build_generic_kernel(self, node: Node) -> Callable[[], Any]:
+        """Replay the recorded eager call — the always-correct fallback."""
+        slots = self._slots
+        in_slots = [self._slot_of[src.id] for src in node.inputs]
+        kind = node.attrs.get("kind", "method")
+        attr = node.attrs.get("attr", node.op)
+        arg_t = node.attrs.get("args", ())
+        kw_t = node.attrs.get("kwargs", {})
+        epilogue = node.attrs.get("epilogue", ())
+        wrap = kind in ("method", "function") and attr not in ("__getitem__",)
+
+        def resolve_callable():
+            if kind == "method":
+                fn = getattr(Tensor, attr)
+            elif kind == "function":
+                from repro.obs.profiler import _FUNCTION_OPS
+                fn = getattr(_FUNCTION_OPS[attr], attr)
+            else:
+                fn = node.attrs["fn"]
+            return getattr(fn, "_obs_original", fn)
+
+        def substitute(template, values):
+            if isinstance(template, Slot):
+                value = values[template.index]
+                if wrap and isinstance(value, np.ndarray):
+                    return Tensor(value)
+                return value
+            if isinstance(template, (list, tuple)):
+                items = [substitute(item, values) for item in template]
+                return items if isinstance(template, list) else tuple(items)
+            return template
+
+        def kernel_generic():
+            values = [slots[i] for i in in_slots]
+            fn = resolve_callable()
+            call_args = substitute(arg_t, values)
+            if kind == "method" and attr == "__getitem__":
+                call_args = (Tensor(values[0]),) + tuple(call_args[1:])
+            call_kwargs = {k: substitute(v, values) for k, v in kw_t.items()}
+            with no_grad():
+                result = fn(*call_args, **call_kwargs)
+            value = result.data if isinstance(result, Tensor) else result
+            for step in epilogue:
+                if step["op"] == "bn_affine":
+                    mean, denom, scale, shift = (values[i] for i in step["slots"])
+                    value = ((value - mean) / denom) * scale + shift
+                elif step["op"] == "relu":
+                    value = value * (value > 0)
+            return value
+        return kernel_generic
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, *args: Any) -> Any:
+        """Replay the plan on new inputs; returns the traced structure.
+
+        Output arrays are fresh copies — arena buffers are recycled on
+        the next call, so results must not alias plan-owned storage.
+        """
+        from repro.obs.profiler import get_active_profiler
+
+        arrays = self.traced.bind(args)
+        with self._lock:
+            slots = self._slots
+            for slot, array, (shape, dtype) in zip(
+                self._input_slots, arrays, self._input_examples
+            ):
+                if array is None or tuple(array.shape) != shape or array.dtype != dtype:
+                    raise CompileError(
+                        f"plan for {self.traced.fn_name} expects input "
+                        f"{shape}/{dtype}, got "
+                        f"{None if array is None else (array.shape, array.dtype)}"
+                    )
+                slots[slot] = array
+            profiler = get_active_profiler()
+            with trace_span("graph.execute"):
+                if profiler is None:
+                    for slot, kernel, _, _, _ in self._steps:
+                        slots[slot] = kernel()
+                else:
+                    for slot, kernel, name, shape, nbytes in self._steps:
+                        start = time.perf_counter()
+                        slots[slot] = kernel()
+                        profiler.record_op(
+                            name, start, time.perf_counter() - start,
+                            shape=shape, nbytes=nbytes,
+                        )
+            leaves = [np.array(slots[slot], copy=True) for slot in self._output_slots]
+        return self.traced.unflatten(leaves)
+
+    __call__ = run
+
+    def describe(self) -> str:
+        lines = [
+            f"plan {self.traced.fn_name}: {self.num_kernels} kernels, "
+            f"{self.fallbacks} eager fallbacks",
+            f"arena: {self.arena_buffers} buffers, "
+            f"{self.arena_bytes / 1024:.1f} KiB, {self.arena_reuses} reuses",
+        ]
+        if self.autotune:
+            chosen = ", ".join(f"{k}->{v}" for k, v in sorted(self.autotune.items()))
+            lines.append(f"conv autotune: {chosen}")
+        return "\n".join(lines)
+
+
+class PlanCache:
+    """LRU cache of :class:`ExecutionPlan` objects keyed by input signature.
+
+    Tracks lookup/hit/compile counters and queues compile events (key,
+    milliseconds) for the serving layer to drain into its stats.
+    """
+
+    def __init__(self, max_plans: int = 32):
+        self.max_plans = max_plans
+        self._plans: "OrderedDict[Any, ExecutionPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.lookups = 0
+        self.hits = 0
+        self.compiles = 0
+        self.evictions = 0
+        self._compile_events: List[Tuple[Any, float]] = []
+
+    def get(self, key: Any) -> Optional[ExecutionPlan]:
+        with self._lock:
+            self.lookups += 1
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+            return plan
+
+    def store(self, key: Any, plan: ExecutionPlan, compile_ms: float) -> None:
+        with self._lock:
+            self.compiles += 1
+            self._compile_events.append((key, compile_ms))
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def drain_compile_events(self) -> List[Tuple[Any, float]]:
+        """Return and clear compile events recorded since the last drain."""
+        with self._lock:
+            events, self._compile_events = self._compile_events, []
+            return events
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._compile_events = []
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "plans": len(self._plans),
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+        }

@@ -282,6 +282,23 @@ class Profiler:
         with self._events_lock:
             self.events.append(event)
 
+    def record_op(self, name: str, start: float, duration: float,
+                  shape: Optional[Tuple[int, ...]] = None, nbytes: int = 0,
+                  phase: str = "forward") -> None:
+        """Record an op event from outside the patching machinery.
+
+        Used by the graph executor to attribute compiled-plan kernels
+        (including fused labels like ``conv2d+bn+relu``), which run as
+        raw numpy and never pass through the patched autograd bindings.
+        """
+        event = TraceEvent(
+            name=name, category="op", phase=phase,
+            start=start, duration=duration,
+            thread=threading.get_ident(), shape=shape, nbytes=nbytes,
+        )
+        with self._events_lock:
+            self.events.append(event)
+
     def _record_op(self, name: str, start: float, duration: float,
                    out, phase: str) -> None:
         shape = None

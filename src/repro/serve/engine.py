@@ -212,6 +212,20 @@ class ServeEngine:
             batch.append(item)
         return batch, keep_running
 
+    def _drain_compile_events(self) -> None:
+        """Attribute plan compilations to ``serve.compile_ms``.
+
+        Compiled grounders (``Grounder.compile()``) expose a plan cache;
+        each batch may trigger at most a handful of compiles (one per new
+        input shape), and recording them separately keeps warm-up cost
+        out of the steady-state latency distribution.
+        """
+        plan_cache = getattr(self.grounder, "plan_cache", None)
+        if plan_cache is None:
+            return
+        for _key, milliseconds in plan_cache.drain_compile_events():
+            self._recorder.record_compile(milliseconds)
+
     def _resolve(self, pending: _Pending, box: np.ndarray, hit: bool) -> None:
         latency = time.perf_counter() - pending.enqueued
         self._recorder.record_completion(latency, hit=hit)
@@ -242,6 +256,8 @@ class ServeEngine:
                 for pending in group:
                     pending.future.set_exception(exc)
             return
+        finally:
+            self._drain_compile_events()
         self._recorder.record_batch(len(samples), depth)
         with self._cache_lock:
             for key, box in zip(groups, boxes):

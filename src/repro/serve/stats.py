@@ -43,6 +43,11 @@ class ServerStats:
     timing: TimingReport = field(
         default_factory=lambda: TimingReport(mean=0.0, std=0.0, num_queries=0)
     )
+    #: Plan compilations observed (compiled grounders only; 0 for eager).
+    compile_count: int = 0
+    #: Total milliseconds spent compiling plans, attributed separately
+    #: from request latency so warm-up cost is visible, not averaged in.
+    compile_ms_total: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -71,6 +76,8 @@ class ServerStats:
             "mean_batch_size": self.mean_batch_size,
             "queue_depth_max": self.queue_depth_max,
             "queue_depth_mean": self.queue_depth_mean,
+            "compile_count": self.compile_count,
+            "compile_ms_total": self.compile_ms_total,
         }
 
     def render(self) -> str:
@@ -92,6 +99,11 @@ class ServerStats:
             f"queue    depth max={self.queue_depth_max} "
             f"mean={self.queue_depth_mean:.1f}",
         ]
+        if self.compile_count:
+            lines.append(
+                f"compile  {self.compile_count} plans, "
+                f"{self.compile_ms_total:.1f}ms total"
+            )
         return "\n".join(lines)
 
 
@@ -114,6 +126,7 @@ class StatsRecorder:
         self._latencies = self.registry.histogram("serve.latency_seconds")
         self._batch_sizes = self.registry.histogram("serve.batch_size")
         self._queue_depths = self.registry.histogram("serve.queue_depth")
+        self._compile_ms = self.registry.histogram("serve.compile_ms")
         self._first_request: float = 0.0
         self._last_completion: float = 0.0
 
@@ -122,7 +135,7 @@ class StatsRecorder:
         with self._lock:
             for metric in (self._requests, self._completed, self._hits,
                            self._misses, self._latencies, self._batch_sizes,
-                           self._queue_depths):
+                           self._queue_depths, self._compile_ms):
                 metric.reset()
             self._first_request = 0.0
             self._last_completion = 0.0
@@ -147,6 +160,11 @@ class StatsRecorder:
             self._batch_sizes.observe(size)
             self._queue_depths.observe(queue_depth)
 
+    def record_compile(self, milliseconds: float) -> None:
+        """Record one plan compilation (compiled grounders only)."""
+        with self._lock:
+            self._compile_ms.observe(milliseconds)
+
     def snapshot(self) -> ServerStats:
         with self._lock:
             latencies = self._latencies.values()
@@ -154,6 +172,7 @@ class StatsRecorder:
             depths = self._queue_depths.values()
             requests, completed = self._requests.value, self._completed.value
             hits, misses = self._hits.value, self._misses.value
+            compile_ms = self._compile_ms.values()
             wall = max(0.0, self._last_completion - self._first_request)
         timing = summarize_latencies(latencies)
         histogram: Dict[int, int] = {}
@@ -174,4 +193,6 @@ class StatsRecorder:
             queue_depth_mean=float(np.mean(depths)) if depths else 0.0,
             batch_histogram=histogram,
             timing=timing,
+            compile_count=len(compile_ms),
+            compile_ms_total=float(sum(compile_ms)),
         )

@@ -74,6 +74,52 @@ class TestPooling:
         assert out.shape == (1, 1, 2, 2)
 
 
+class TestIm2colCache:
+    def test_repeated_shapes_hit_the_index_cache(self):
+        from repro.autograd.functional import (
+            clear_im2col_cache,
+            im2col_cache_stats,
+        )
+
+        clear_im2col_cache()
+        x = make((2, 3, 8, 8))
+        w = make((4, 3, 3, 3), 1)
+        first = conv2d(x, w, stride=1, padding=1)
+        after_first = im2col_cache_stats()
+        assert after_first["misses"] >= 1
+        assert after_first["hits"] == 0
+        second = conv2d(x, w, stride=1, padding=1)
+        after_second = im2col_cache_stats()
+        # Same (shape, kernel, stride): no new entries, pure hits.
+        assert after_second["entries"] == after_first["entries"]
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] >= 1
+        assert first.data.tobytes() == second.data.tobytes()
+
+    def test_distinct_geometry_is_a_distinct_entry(self):
+        from repro.autograd.functional import (
+            clear_im2col_cache,
+            im2col_cache_stats,
+        )
+
+        clear_im2col_cache()
+        conv2d(make((1, 2, 6, 6)), make((3, 2, 3, 3), 1), stride=1, padding=1)
+        entries = im2col_cache_stats()["entries"]
+        conv2d(make((1, 2, 6, 6)), make((3, 2, 3, 3), 1), stride=2, padding=1)
+        assert im2col_cache_stats()["entries"] == entries + 1
+
+    def test_clear_resets_counters(self):
+        from repro.autograd.functional import (
+            clear_im2col_cache,
+            im2col_cache_stats,
+        )
+
+        conv2d(make((1, 1, 5, 5)), make((1, 1, 3, 3), 1))
+        clear_im2col_cache()
+        stats = im2col_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+
+
 class TestPad2d:
     def test_values(self):
         out = pad2d(Tensor(np.ones((1, 1, 2, 2))), 1)

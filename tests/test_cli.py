@@ -35,6 +35,15 @@ class TestParser:
         assert args.requests == 128
         assert args.max_batch == 16
         assert args.model is None
+        assert args.compiled is False
+
+    def test_compiled_flags_parse(self):
+        args = build_parser().parse_args(["serve-bench", "--compiled"])
+        assert args.compiled is True
+        args = build_parser().parse_args(
+            ["profile", "--target", "infer", "--compiled"]
+        )
+        assert args.compiled is True
 
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile"])
@@ -87,3 +96,15 @@ class TestEndToEnd:
             payload = json.load(handle)
         ts = [event["ts"] for event in payload["traceEvents"]]
         assert ts and ts == sorted(ts)
+
+    def test_profile_infer_compiled_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = str(tmp_path / "trace.json")
+        code = main(["profile", "--target", "infer", "--compiled",
+                     "--requests", "2", "--scale", "0.03", "--out", out])
+        assert code == 0
+        printed = capsys.readouterr().out
+        # Compiled replay runs under the graph.execute span and reports
+        # fused kernels in the hot-op table.
+        assert "graph.execute" in printed
+        assert os.path.exists(out)

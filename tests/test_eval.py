@@ -161,6 +161,33 @@ class TestTiming:
         assert report.overhead_mean == report.mean
 
 
+class TestEagerCompiledComparison:
+    def test_compares_and_restores_eager_mode(self, dataset):
+        from repro.core import Grounder, YolloConfig, YolloModel
+        from repro.eval import compare_eager_compiled
+        from repro.utils import seed_everything
+
+        seed_everything(17)
+        cfg = YolloConfig(
+            backbone="tiny", d_model=12, d_rel=16, ffn_hidden=16,
+            head_hidden=16, num_rel2att=2,
+            max_query_length=max(6, dataset.max_query_length),
+        )
+        model = YolloModel(cfg, vocab_size=len(dataset.vocab)).eval()
+        grounder = Grounder(model, dataset.vocab)
+        comparison = compare_eager_compiled(
+            grounder, dataset["val"][:3], warmup=1
+        )
+        assert comparison.eager.mean > 0.0
+        assert comparison.compiled.mean > 0.0
+        assert comparison.plans >= 1
+        assert comparison.compile_ms > 0.0
+        assert comparison.speedup > 0.0
+        assert "speedup" in comparison.render()
+        # The measurement must not leave the grounder compiled.
+        assert grounder.plan_cache is None
+
+
 class TestTrainingCurve:
     def test_record_and_final(self):
         curve = TrainingCurve("x")

@@ -1,0 +1,422 @@
+"""Graph compiler: tracing, optimisation passes, plans, compiled predict."""
+
+import numpy as np
+import pytest
+
+from repro import autograd
+from repro.autograd import Tensor, no_grad
+from repro.core import Grounder, YolloConfig, YolloModel
+from repro.data import REFCOCO, build_dataset
+from repro.data.loader import encode_batch
+from repro.graph import (
+    ExecutionPlan,
+    PlanCache,
+    eliminate_dead_nodes,
+    fold_batchnorm,
+    fold_constants,
+    fuse_epilogues,
+    optimize_graph,
+    trace,
+)
+from repro.nn.norm import BatchNorm2d
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    seed_everything(29)
+    return build_dataset(REFCOCO.scaled(0.04))
+
+
+def make_model(dataset, backbone="tiny"):
+    seed_everything(31)
+    cfg = YolloConfig(
+        backbone=backbone, d_model=12, d_rel=16, ffn_hidden=16, head_hidden=16,
+        num_rel2att=2, max_query_length=max(6, dataset.max_query_length),
+        batch_size=4,
+    )
+    model = YolloModel(cfg, vocab_size=len(dataset.vocab))
+    model.eval()
+    return model, cfg
+
+
+def batch_of(dataset, cfg, n=3, split="val"):
+    return encode_batch(dataset[split][:n], dataset.vocab, cfg.max_query_length)
+
+
+def assert_predictions_bitwise_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.box.tobytes() == b.box.tobytes()
+        assert a.score == b.score
+        assert a.anchor_index == b.anchor_index
+        assert a.attention_map.tobytes() == b.attention_map.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+class TestTrace:
+    def test_records_ops_inputs_and_constants(self):
+        weight = Tensor(np.arange(6.0).reshape(3, 2))
+
+        def fn(x):
+            return (x.matmul(weight.transpose(1, 0)) + 1.0).relu()
+
+        x = Tensor(np.ones((4, 2)))
+        traced = trace(fn, x, name="toy")
+        ops = traced.graph.op_counts()
+        assert len(traced.graph.inputs) == 1
+        assert ops.get("matmul") == 1
+        assert ops.get("add") == 1
+        assert ops.get("relu") == 1
+        # The weight and its transpose are trace-time constants.
+        assert ops.get("constant", 0) >= 1
+
+    def test_replay_matches_eager_on_fresh_inputs(self):
+        weight = Tensor(np.linspace(-1.0, 1.0, 12).reshape(3, 4))
+
+        def fn(x):
+            return (x.matmul(weight) - 0.25).relu().sum(axis=1)
+
+        traced = trace(fn, Tensor(np.zeros((2, 3))))
+        optimize_graph(traced.graph)
+        plan = ExecutionPlan(traced)
+        fresh = Tensor(np.linspace(-2.0, 2.0, 6).reshape(2, 3))
+        eager = fn(fresh).data
+        compiled = plan.run(fresh).data
+        assert eager.tobytes() == compiled.tobytes()
+
+    def test_pytree_output_structure_roundtrips(self):
+        def fn(x):
+            doubled = x * 2.0
+            return {"pair": (doubled, x + 1.0), "list": [x.relu()]}
+
+        x = Tensor(np.array([[1.0, -1.0]]))
+        traced = trace(fn, x)
+        plan = ExecutionPlan(traced)
+        out = plan.run(x)
+        assert set(out) == {"pair", "list"}
+        assert isinstance(out["pair"], tuple) and len(out["pair"]) == 2
+        np.testing.assert_array_equal(out["pair"][0].data, [[2.0, -2.0]])
+        np.testing.assert_array_equal(out["list"][0].data, [[1.0, 0.0]])
+
+    def test_model_forward_traces_without_fallbacks(self, dataset):
+        model, cfg = make_model(dataset)
+        batch = batch_of(dataset, cfg)
+        with no_grad():
+            traced = trace(
+                model.forward, Tensor(batch["images"]),
+                batch["token_ids"], batch["token_mask"],
+            )
+        optimize_graph(traced.graph)
+        plan = ExecutionPlan(traced)
+        assert plan.fallbacks == 0
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+class TestPasses:
+    def test_fold_constants_collapses_constant_subtree(self):
+        w = Tensor(np.full((2, 2), 3.0))
+
+        def fn(x):
+            return x + (w * 2.0).transpose(1, 0)
+
+        traced = trace(fn, Tensor(np.zeros((2, 2))))
+        folded = fold_constants(traced.graph)
+        assert folded >= 2  # the mul and the transpose
+        ops = traced.graph.op_counts()
+        assert "mul" not in ops and "transpose" not in ops
+
+    def test_dead_node_elimination_counts_and_removes(self):
+        def fn(x):
+            unused = x * 100.0  # noqa: F841 — traced but not returned
+            return x + 1.0
+
+        traced = trace(fn, Tensor(np.ones(3)))
+        before = len(traced.graph)
+        removed = eliminate_dead_nodes(traced.graph)
+        assert removed == 2  # the mul and its lifted 100.0 constant
+        assert len(traced.graph) == before - 2
+        assert "mul" not in traced.graph.op_counts()
+
+    def test_batchnorm_chain_folds_to_single_affine(self):
+        mean = Tensor(np.array([1.0, -2.0]).reshape(1, 2, 1, 1))
+        denom = Tensor(np.array([2.0, 4.0]).reshape(1, 2, 1, 1))
+        scale = Tensor(np.array([0.5, 1.5]).reshape(1, 2, 1, 1))
+        shift = Tensor(np.array([0.1, -0.1]).reshape(1, 2, 1, 1))
+
+        def fn(x):
+            return ((x - mean) / denom) * scale + shift
+
+        x = Tensor(np.arange(16.0).reshape(1, 2, 2, 4))
+        traced = trace(fn, x)
+        fold_constants(traced.graph)
+        assert fold_batchnorm(traced.graph) == 1
+        assert len(traced.graph.find("bn_affine")) == 1
+        for op in ("sub", "div", "mul", "add"):
+            assert op not in traced.graph.op_counts()
+        plan = ExecutionPlan(traced)
+        fresh = Tensor(np.linspace(-3.0, 3.0, 16).reshape(1, 2, 2, 4))
+        assert plan.run(fresh).data.tobytes() == fn(fresh).data.tobytes()
+
+    def test_conv_relu_fuses_into_one_node(self):
+        weight = Tensor(np.linspace(-0.5, 0.5, 2 * 3 * 3 * 3).reshape(2, 3, 3, 3))
+        bias = Tensor(np.array([0.25, -0.25]))
+
+        def fn(x):
+            # Call through the module so the tracer's patched binding is
+            # the one resolved (frozen ``from … import conv2d`` names in
+            # non-repro modules are deliberately left untouched).
+            return autograd.conv2d(x, weight, bias, stride=1, padding=1).relu()
+
+        x = Tensor(np.random.default_rng(5).normal(size=(2, 3, 6, 6)))
+        traced = trace(fn, x)
+        fold_constants(traced.graph)
+        assert fuse_epilogues(traced.graph) == 1
+        eliminate_dead_nodes(traced.graph)
+        fused = traced.graph.find("conv2d")
+        assert len(fused) == 1 and fused[0].name == "conv2d+relu"
+        assert "relu" not in traced.graph.op_counts()
+        plan = ExecutionPlan(traced)
+        fresh = Tensor(np.random.default_rng(6).normal(size=(2, 3, 6, 6)))
+        assert plan.run(fresh).data.tobytes() == fn(fresh).data.tobytes()
+
+    def test_model_level_batchnorm_folding_count(self, dataset):
+        model, cfg = make_model(dataset, backbone="tiny-bn")
+        batch = batch_of(dataset, cfg)
+        with no_grad():
+            traced = trace(
+                model.forward, Tensor(batch["images"]),
+                batch["token_ids"], batch["token_mask"],
+            )
+        counts = optimize_graph(traced.graph)
+        bn_modules = sum(
+            isinstance(m, BatchNorm2d) for m in model.modules()
+        )
+        assert bn_modules > 0
+        assert counts["folded_batchnorm"] == bn_modules
+        assert counts["fused_epilogues"] > 0
+        assert counts["eliminated_dead"] > 0
+
+    def test_model_level_fusion_on_norm_free_backbone(self, dataset):
+        model, cfg = make_model(dataset, backbone="tiny")
+        batch = batch_of(dataset, cfg)
+        with no_grad():
+            traced = trace(
+                model.forward, Tensor(batch["images"]),
+                batch["token_ids"], batch["token_mask"],
+            )
+        counts = optimize_graph(traced.graph)
+        assert counts["folded_batchnorm"] == 0
+        assert counts["fused_epilogues"] > 0
+        names = {node.name for node in traced.graph.nodes}
+        assert any(name.startswith("conv2d+") for name in names)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def _plan(self):
+        w1 = Tensor(np.linspace(-1.0, 1.0, 16).reshape(4, 4))
+        w2 = Tensor(np.linspace(1.0, -1.0, 16).reshape(4, 4))
+
+        def fn(x):
+            h = (x.matmul(w1) + 0.5).relu()
+            h = (h.matmul(w2) - 0.5).relu()
+            return h.sum(axis=1)
+
+        traced = trace(fn, Tensor(np.zeros((8, 4))))
+        optimize_graph(traced.graph)
+        return fn, ExecutionPlan(traced)
+
+    def test_arena_reuses_buffers(self):
+        _, plan = self._plan()
+        assert plan.arena_reuses > 0
+        assert plan.arena_buffers < plan.num_kernels
+
+    def test_outputs_are_private_copies(self):
+        fn, plan = self._plan()
+        x = Tensor(np.random.default_rng(0).normal(size=(8, 4)))
+        first = plan.run(x)
+        first_bytes = first.data.tobytes()
+        first.data[:] = np.nan  # clobber the returned array
+        second = plan.run(x)
+        assert second.data.tobytes() == first_bytes
+
+    def test_shape_mismatch_is_rejected(self):
+        from repro.graph.executor import CompileError
+
+        _, plan = self._plan()
+        with pytest.raises(CompileError):
+            plan.run(Tensor(np.zeros((3, 4))))
+
+    def test_describe_mentions_kernels_and_arena(self):
+        _, plan = self._plan()
+        text = plan.describe()
+        assert "kernels" in text and "arena" in text
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_lru_eviction_and_counters(self):
+        cache = PlanCache(max_plans=2)
+        cache.store("a", object(), 1.0)
+        cache.store("b", object(), 2.0)
+        assert cache.get("a") is not None  # refresh: "b" is coldest
+        cache.store("c", object(), 3.0)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["compiles"] == 3
+        assert stats["lookups"] == 4 and stats["hits"] == 3
+
+    def test_drain_compile_events_empties_queue(self):
+        cache = PlanCache()
+        cache.store("k1", object(), 12.5)
+        cache.store("k2", object(), 2.5)
+        events = cache.drain_compile_events()
+        assert [key for key, _ in events] == ["k1", "k2"]
+        assert sum(ms for _, ms in events) == 15.0
+        assert cache.drain_compile_events() == []
+
+    def test_clear_resets_plans(self):
+        cache = PlanCache()
+        cache.store("k", object(), 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+
+# ----------------------------------------------------------------------
+# Compiled predict — bit-exactness across presets
+# ----------------------------------------------------------------------
+class TestCompiledPredict:
+    @pytest.mark.parametrize(
+        "backbone", ["tiny", "tiny-bn", "resnet50-bn", "vgg"]
+    )
+    def test_compiled_matches_eager_bitwise(self, dataset, backbone):
+        model, cfg = make_model(dataset, backbone=backbone)
+        batch = batch_of(dataset, cfg, n=3)
+        eager = model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
+        model.compile()
+        compiled = model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
+        again = model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
+        assert_predictions_bitwise_equal(eager, compiled)
+        assert_predictions_bitwise_equal(eager, again)
+        stats = model.plan_cache.stats()
+        assert stats["compiles"] == 1 and stats["hits"] == 1
+
+    def test_compiled_matches_eager_without_mask(self, dataset):
+        model, cfg = make_model(dataset)
+        batch = batch_of(dataset, cfg, n=2)
+        eager = model.predict(batch["images"], batch["token_ids"], None)
+        model.compile()
+        compiled = model.predict(batch["images"], batch["token_ids"], None)
+        assert_predictions_bitwise_equal(eager, compiled)
+
+    def test_distinct_batch_shapes_compile_distinct_plans(self, dataset):
+        model, cfg = make_model(dataset)
+        model.compile()
+        big = batch_of(dataset, cfg, n=3)
+        small = batch_of(dataset, cfg, n=1)
+        model.predict(big["images"], big["token_ids"], big["token_mask"])
+        model.predict(small["images"], small["token_ids"], small["token_mask"])
+        assert len(model.plan_cache) == 2
+
+    def test_bit_exact_after_checkpoint_roundtrip(self, dataset, tmp_path):
+        model, cfg = make_model(dataset, backbone="tiny-bn")
+        batch = batch_of(dataset, cfg, n=2)
+        model.compile()
+        before = model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
+        state = model.state_dict()
+        model.load_state_dict(state)
+        assert len(model.plan_cache) == 0  # plans invalidated by new weights
+        after = model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
+        assert_predictions_bitwise_equal(before, after)
+
+    def test_train_mode_invalidates_plans(self, dataset):
+        model, cfg = make_model(dataset)
+        batch = batch_of(dataset, cfg, n=1)
+        model.compile()
+        model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        assert len(model.plan_cache) == 1
+        model.train()
+        assert len(model.plan_cache) == 0
+
+    def test_uncompile_restores_eager_predict(self, dataset):
+        model, cfg = make_model(dataset)
+        batch = batch_of(dataset, cfg, n=1)
+        model.compile()
+        model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        model.uncompile()
+        assert model.plan_cache is None
+        # Eager path still works and matches.
+        model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+
+    def test_grounder_compile_roundtrip(self, dataset):
+        model, cfg = make_model(dataset)
+        grounder = Grounder(model, dataset.vocab)
+        samples = dataset["val"][:2]
+        eager = grounder.ground_batch(samples)
+        grounder.compile()
+        compiled = grounder.ground_batch(samples)
+        assert eager.tobytes() == compiled.tobytes()
+        assert grounder.plan_cache is model.plan_cache
+        grounder.uncompile()
+        assert grounder.plan_cache is None
+
+
+# ----------------------------------------------------------------------
+# Observability integration
+# ----------------------------------------------------------------------
+class TestProfilerAttribution:
+    def test_plan_execution_records_op_events_and_span(self, dataset):
+        from repro.obs import profile
+
+        model, cfg = make_model(dataset)
+        batch = batch_of(dataset, cfg, n=1)
+        model.compile()
+        # Compile outside the profiled region: steady-state attribution.
+        model.predict(batch["images"], batch["token_ids"], batch["token_mask"])
+        with profile() as prof:
+            model.predict(
+                batch["images"], batch["token_ids"], batch["token_mask"]
+            )
+        names = {stat.name for stat in prof.op_stats()}
+        assert any("conv2d" in name for name in names)
+        span_totals = prof.span_totals()
+        assert "graph.execute" in span_totals
+        assert "yollo.forward" in span_totals
+
+    def test_tracing_under_active_profiler_succeeds(self, dataset):
+        from repro.obs import profile
+
+        model, cfg = make_model(dataset)
+        batch = batch_of(dataset, cfg, n=1)
+        model.compile()
+        with profile():
+            compiled = model.predict(
+                batch["images"], batch["token_ids"], batch["token_mask"]
+            )
+        model.uncompile()
+        eager = model.predict(
+            batch["images"], batch["token_ids"], batch["token_mask"]
+        )
+        assert_predictions_bitwise_equal(eager, compiled)

@@ -266,6 +266,71 @@ class TestServeYollo:
 
 
 # ----------------------------------------------------------------------
+# Compiled serving
+# ----------------------------------------------------------------------
+class TestServeCompiled:
+    def test_compiled_serving_matches_eager_and_records_compiles(
+        self, tiny_grounder
+    ):
+        grounder, dataset = tiny_grounder
+        samples = list(dataset["val"])[:4]
+        eager = grounder.ground_batch(samples)
+        grounder.compile()
+        try:
+            with grounder.serve(max_batch=4) as engine:
+                served = engine.ground_many(
+                    [TraceRequest(s.image, s.query) for s in samples]
+                )
+                stats = engine.stats()
+            assert served.tobytes() == eager.tobytes()
+            assert stats.compile_count >= 1
+            assert stats.compile_ms_total > 0.0
+            assert "compile" in stats.render()
+            assert stats.as_dict()["compile_count"] == stats.compile_count
+        finally:
+            grounder.uncompile()
+
+    def test_eager_engine_records_no_compiles(self, tiny_grounder):
+        grounder, dataset = tiny_grounder
+        sample = dataset["val"][0]
+        with grounder.serve() as engine:
+            engine.ground(sample.image, sample.query, timeout=30)
+            stats = engine.stats()
+        assert stats.compile_count == 0
+        assert "compile" not in stats.render()
+
+    def test_cached_hit_skips_plan_lookup_entirely(self, tiny_grounder):
+        grounder, dataset = tiny_grounder
+        sample = dataset["val"][0]
+        grounder.compile()
+        try:
+            with grounder.serve() as engine:
+                engine.ground(sample.image, sample.query, timeout=30)
+                lookups_after_miss = grounder.plan_cache.lookups
+                cached = engine.ground(sample.image, sample.query, timeout=30)
+                stats = engine.stats()
+            # The repeat was answered from the response cache before any
+            # plan-cache interaction: the lookup counter never moved.
+            assert stats.cache_hits == 1
+            assert grounder.plan_cache.lookups == lookups_after_miss
+            assert cached.shape == (4,)
+        finally:
+            grounder.uncompile()
+
+    def test_compile_ms_histogram_lives_in_engine_registry(self, tiny_grounder):
+        grounder, dataset = tiny_grounder
+        sample = dataset["val"][0]
+        grounder.compile()
+        try:
+            with grounder.serve() as engine:
+                engine.ground(sample.image, sample.query, timeout=30)
+                histogram = engine.metrics.histogram("serve.compile_ms")
+                assert len(histogram.values()) >= 1
+        finally:
+            grounder.uncompile()
+
+
+# ----------------------------------------------------------------------
 # Shared observability registry
 # ----------------------------------------------------------------------
 class TestServeMetrics:
