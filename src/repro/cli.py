@@ -58,11 +58,65 @@ def _build_model(args, dataset):
     return YolloModel(config, vocab_size=len(dataset.vocab), backbone=backbone), config
 
 
+def _dist_spec(args, profile: bool = False, profile_out=None, top: int = 12):
+    """Build a :class:`repro.dist.WorkerSpec` from CLI arguments."""
+    from repro.dist import DistConfig, WorkerSpec, build_yollo_task, warm_backbone
+
+    return WorkerSpec(
+        builder=build_yollo_task,
+        task_kwargs=dict(
+            dataset_name=args.dataset,
+            scale=args.scale,
+            grad_shards=args.grad_shards,
+            epochs=getattr(args, "epochs", None),
+            iterations=getattr(args, "steps", None) if profile else None,
+            eval_every=getattr(args, "eval_every", 0) if not profile else 0,
+            backbone=args.backbone,
+            pretrain_steps=args.pretrain_steps,
+        ),
+        dist=DistConfig(grad_shards=args.grad_shards),
+        seed=args.seed,
+        dtype="float64" if args.float64 else "float32",
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+        resume=getattr(args, "resume", False),
+        warmup=warm_backbone,
+        warmup_kwargs=dict(name=args.backbone,
+                           pretrain_steps=args.pretrain_steps),
+        profile=profile,
+        profile_out=profile_out,
+        profile_top=top,
+        quiet=getattr(args, "quiet", True),
+    )
+
+
+def _cmd_train_dist(args) -> int:
+    from repro.dist import WorkerGroup, build_yollo_task
+
+    spec = _dist_spec(args)
+    report = WorkerGroup(spec, world_size=args.workers).run()
+    if report.generations > 1:
+        print(f"recovered from worker failure: finished at world size "
+              f"{report.world_size} after {report.generations} generation(s)")
+    # Rebuild the task locally to decode the replicated final state into
+    # a saveable model (the workers ship state, not an .npz).
+    task = build_yollo_task(**spec.task_kwargs)
+    task.load_state_dict(report.final_state)
+    if task.trainer.history.curve.values:
+        print(task.trainer.history.curve.render_ascii())
+    task.trainer.model.save(args.out)
+    print(f"saved checkpoint to {args.out} "
+          f"(trained on {args.workers} worker(s))")
+    return 0
+
+
 def cmd_train(args) -> int:
     from repro.core import YolloTrainer
     from repro.utils import ProgressLogger
 
     _setup(args)
+    if args.workers > 1:
+        return _cmd_train_dist(args)
     dataset = _build_dataset(args)
     model, config = _build_model(args, dataset)
     trainer = YolloTrainer(model, dataset, config,
@@ -194,6 +248,19 @@ def cmd_profile(args) -> int:
     from repro.obs import profile
 
     _setup(args)
+    if getattr(args, "workers", 1) > 1:
+        if args.target != "train-step":
+            raise SystemExit("--workers only profiles --target train-step")
+        from repro.dist import WorkerGroup
+
+        out = args.out or "profile-train-step.json"
+        spec = _dist_spec(args, profile=True, profile_out=out, top=args.top)
+        report = WorkerGroup(spec, world_size=args.workers).run()
+        if report.profile_render:
+            print(report.profile_render)
+        print(f"\nwrote Chrome trace (rank 0) to {out} "
+              f"(open in chrome://tracing)")
+        return 0
     dataset = _build_dataset(args)
     model, config = _build_model(args, dataset)
     if args.model:
@@ -287,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume bit-exactly from the newest checkpoint "
                             "in --checkpoint-dir")
     train.add_argument("--quiet", action="store_true")
+    train.add_argument("--workers", type=int, default=1,
+                       help="data-parallel worker processes; >1 trains via "
+                            "repro.dist with bit-exact results")
+    train.add_argument("--grad-shards", type=int, default=4,
+                       help="micro-batch slots per global batch "
+                            "(fixed across world sizes)")
     train.set_defaults(func=cmd_train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint")
@@ -348,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows in the hot-op table")
     prof.add_argument("--out", default=None,
                       help="Chrome trace path (default profile-<target>.json)")
+    prof.add_argument("--workers", type=int, default=1,
+                      help="profile a multi-worker distributed train step "
+                           "(rank 0's trace is exported)")
+    prof.add_argument("--grad-shards", type=int, default=4,
+                      help="micro-batch slots per global batch")
     prof.add_argument("--compiled", action="store_true",
                       help="profile graph-compiled inference "
                            "(infer/serve targets only)")

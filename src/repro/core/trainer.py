@@ -126,6 +126,14 @@ class YolloTrainer:
         self._epoch_cursor = 0
         self._epoch = 0
         self._pending = None
+        #: When the distributed trainer installs reduced gradients, every
+        #: ``param.grad`` is a view into this flat buffer and clipping
+        #: happens on the buffer itself (one shared norm computation).
+        self._flat_grads: Optional[np.ndarray] = None
+        # Best-eval weight tracking (see begin_run(keep_best=...)).
+        self._keep_best = False
+        self._best_score: Optional[float] = None
+        self._best_weights: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Run setup
@@ -141,11 +149,19 @@ class YolloTrainer:
         eval_every: int = 0,
         eval_split: str = "val",
         eval_samples: int = 32,
+        keep_best: bool = False,
     ) -> "YolloTrainer":
         """Reset per-run state and fix the step/eval plan.
 
         Either ``epochs`` (the default, ``config.epochs``) or an explicit
         ``iterations`` budget determines ``total_iterations``.
+
+        ``keep_best`` snapshots the model weights whenever a periodic
+        evaluation improves on the best validation ACC@0.5 so far, and
+        restores that snapshot in :meth:`finalize` — the run ends with
+        its best-evaluated weights even if training later destabilises.
+        The snapshot is not part of ``state_dict``; a resumed run starts
+        tracking again from its first post-resume evaluation.
         """
         per_epoch = self.iterations_per_epoch()
         if iterations is not None:
@@ -165,6 +181,9 @@ class YolloTrainer:
         self._epoch_cursor = 0
         self._epoch = 0
         self._pending = None
+        self._keep_best = keep_best
+        self._best_score = None
+        self._best_weights = None
         return self
 
     # ------------------------------------------------------------------
@@ -176,14 +195,18 @@ class YolloTrainer:
         eval_every: int = 0,
         eval_split: str = "val",
         eval_samples: int = 32,
+        keep_best: bool = False,
     ) -> TrainingHistory:
         """Run the optimisation loop.
 
         ``eval_every > 0`` evaluates validation ACC@0.5 on a fixed subset
         every that many iterations (recorded into the Figure-4 curve).
+        ``keep_best`` restores the best-evaluated weights at the end of
+        the run (see :meth:`begin_run`).
         """
         self.begin_run(epochs=epochs, eval_every=eval_every,
-                       eval_split=eval_split, eval_samples=eval_samples)
+                       eval_split=eval_split, eval_samples=eval_samples,
+                       keep_best=keep_best)
         while self.iteration < self.total_iterations:
             loss_value = self.forward_backward()
             self.apply_step(loss_value)
@@ -244,7 +267,9 @@ class YolloTrainer:
         self._pending = None
         with self.metrics.timer("train.apply_seconds"), trace_span("train.apply_step"):
             if self.config.grad_clip:
-                clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+                clip_grad_norm(self.optimizer.parameters, self.config.grad_clip,
+                               flat=self._flat_grads)
+            self._flat_grads = None
             self.optimizer.step()
             if self.scheduler is not None:
                 self.scheduler.step()
@@ -286,6 +311,7 @@ class YolloTrainer:
     def skip_step(self) -> None:
         """Advance past an anomalous step without touching the weights."""
         self._pending = None
+        self._flat_grads = None
         self.optimizer.zero_grad()
         self.iteration += 1
         self.history.iterations = self.iteration
@@ -298,6 +324,12 @@ class YolloTrainer:
         if self.eval_every and (not self.history.curve.iterations
                                 or self.history.curve.iterations[-1] != self.iteration):
             self.periodic_eval()
+        if self._keep_best and self._best_weights is not None:
+            for param, weights in zip(self.optimizer.parameters,
+                                      self._best_weights):
+                np.copyto(param.data, weights)
+            self.logger.log(
+                f"restored best-eval weights (val ACC@0.5 = {self._best_score:.3f})")
 
     def result(self) -> TrainingHistory:
         return self.history
@@ -358,3 +390,9 @@ class YolloTrainer:
         report = evaluate_grounder(self.grounder, subset)
         history.curve.record(iteration, report.acc_at_50)
         self.logger.log(f"iter {iteration}: val ACC@0.5 = {report.acc_at_50:.3f}")
+        if self._keep_best and (self._best_score is None
+                                or report.acc_at_50 > self._best_score):
+            self._best_score = report.acc_at_50
+            self._best_weights = [
+                param.data.copy() for param in self.optimizer.parameters
+            ]

@@ -1,0 +1,60 @@
+"""Distributed data-parallel training runtime.
+
+Process-based workers (``spawn``), a pipe-mesh collective layer with a
+deterministic ring all-reduce, sharded sampling, and a replicated-step
+trainer that keeps N workers bit-exact with a single-process run.  See
+DESIGN.md ("Distributed training") for the protocol, the determinism
+contract, and the failure model.
+
+Everything exported here is importable under the ``spawn`` start
+method: module-level classes and functions only, no closures.
+"""
+
+from repro.dist.collective import (
+    Collective,
+    CollectiveError,
+    CollectiveTimeout,
+    PeerLostError,
+    ProtocolError,
+)
+from repro.dist.flatten import TensorManifest, flatten_tensors, unflatten_tensors
+from repro.dist.sampler import ShardedSampler, owned_slots, slot_bounds
+from repro.dist.tasks import (
+    PretrainDistTask,
+    YolloDistTask,
+    build_pretrain_task,
+    build_yollo_task,
+    warm_backbone,
+)
+from repro.dist.trainer import DistConfig, DistributedTrainer
+from repro.dist.worker import (
+    DistReport,
+    WorkerGroup,
+    WorkerGroupError,
+    WorkerSpec,
+)
+
+__all__ = [
+    "Collective",
+    "CollectiveError",
+    "CollectiveTimeout",
+    "PeerLostError",
+    "ProtocolError",
+    "TensorManifest",
+    "flatten_tensors",
+    "unflatten_tensors",
+    "ShardedSampler",
+    "owned_slots",
+    "slot_bounds",
+    "PretrainDistTask",
+    "YolloDistTask",
+    "build_pretrain_task",
+    "build_yollo_task",
+    "warm_backbone",
+    "DistConfig",
+    "DistributedTrainer",
+    "DistReport",
+    "WorkerGroup",
+    "WorkerGroupError",
+    "WorkerSpec",
+]

@@ -1,0 +1,270 @@
+"""Socket/pipe-based collective communication between worker ranks.
+
+Each rank holds one duplex :class:`multiprocessing.connection.Connection`
+per peer (a full mesh — world sizes here are single-digit).  On top of
+that, :class:`Collective` implements the small set of collectives the
+data-parallel runtime needs:
+
+* ``broadcast`` — root fans an arbitrary picklable object out to every
+  rank (initial weights, resume payloads);
+* ``all_reduce`` — deterministic *ring* all-reduce over a flat float
+  buffer: reduce-scatter then all-gather, fixed chunk boundaries and a
+  fixed accumulation order, so two runs at the same world size produce
+  bit-identical sums;
+* ``all_gather`` / ``gather`` / ``barrier`` — built from the same
+  ordered primitives.
+
+Every receive is bounded by a timeout (straggler detection) and every
+message carries an (op, sequence) header so a desynchronised group
+fails loudly (:class:`ProtocolError`) instead of silently reducing the
+wrong step's gradients.  A dead peer surfaces as :class:`PeerLostError`
+(EOF on its pipe) or :class:`CollectiveTimeout`; the worker runtime
+turns either into a group-rebuild request.
+
+The ring steps are deliberately *rank-serialised* (rank 0 sends first,
+every other rank receives before sending).  Fully concurrent sends can
+deadlock on OS pipe buffers once payloads outgrow them; serialising
+costs one pipe latency per hop, which is noise at the scales this
+runtime targets, and keeps the protocol trivially deadlock-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, get_registry, trace_span
+
+
+class CollectiveError(RuntimeError):
+    """Base class for collective-layer failures."""
+
+
+class CollectiveTimeout(CollectiveError):
+    """A peer did not answer within the timeout (straggler or hang)."""
+
+    def __init__(self, rank: int, peer: int, op: str, timeout: float):
+        super().__init__(
+            f"rank {rank}: peer {peer} silent for {timeout:.1f}s during {op}"
+        )
+        self.peer = peer
+
+
+class PeerLostError(CollectiveError):
+    """A peer's pipe reached EOF — its process died mid-run."""
+
+    def __init__(self, rank: int, peer: int, op: str):
+        super().__init__(f"rank {rank}: lost peer {peer} during {op}")
+        self.peer = peer
+
+
+class ProtocolError(CollectiveError):
+    """Ranks disagree about which collective op is in flight."""
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Approximate wire size of a payload for the comm-bytes counters."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(v) for v in payload.values())
+    return 64  # headers, scalars, small objects
+
+
+class Collective:
+    """Collective operations for one rank over a pipe mesh."""
+
+    def __init__(
+        self,
+        rank: int,
+        world_size: int,
+        connections: Optional[Dict[int, Any]] = None,
+        timeout: float = 60.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} outside world of {world_size}")
+        connections = connections or {}
+        expected = {r for r in range(world_size) if r != rank}
+        if set(connections) != expected:
+            raise ValueError(
+                f"rank {rank} needs connections to {sorted(expected)}, "
+                f"got {sorted(connections)}"
+            )
+        self.rank = rank
+        self.world_size = world_size
+        self.timeout = timeout
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._conns = dict(connections)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Point-to-point with headers, timeouts, and byte accounting
+    # ------------------------------------------------------------------
+    def _send(self, peer: int, op: str, seq: int, payload: Any) -> None:
+        try:
+            self._conns[peer].send((op, seq, payload))
+        except (BrokenPipeError, OSError):
+            raise PeerLostError(self.rank, peer, op)
+        self.metrics.counter("dist.bytes_sent").inc(_payload_nbytes(payload))
+        self.metrics.counter("dist.messages_sent").inc()
+
+    def _recv(self, peer: int, op: str, seq: int) -> Any:
+        conn = self._conns[peer]
+        try:
+            if not conn.poll(self.timeout):
+                raise CollectiveTimeout(self.rank, peer, op, self.timeout)
+            got_op, got_seq, payload = conn.recv()
+        except EOFError:
+            raise PeerLostError(self.rank, peer, op)
+        except (BrokenPipeError, ConnectionResetError):
+            raise PeerLostError(self.rank, peer, op)
+        if (got_op, got_seq) != (op, seq):
+            raise ProtocolError(
+                f"rank {self.rank}: expected {op}#{seq} from peer {peer}, "
+                f"got {got_op}#{got_seq}"
+            )
+        self.metrics.counter("dist.bytes_received").inc(_payload_nbytes(payload))
+        return payload
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def broadcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Fan ``obj`` from ``root`` out to every rank; returns it everywhere."""
+        if self.world_size == 1:
+            return obj
+        seq = self._next_seq()
+        with self.metrics.timer("dist.broadcast_seconds"), \
+                trace_span("dist.broadcast"):
+            if self.rank == root:
+                for peer in range(self.world_size):
+                    if peer != root:
+                        self._send(peer, "bcast", seq, obj)
+                return obj
+            return self._recv(root, "bcast", seq)
+
+    def barrier(self) -> None:
+        """Block until every rank has arrived (star in, star out)."""
+        if self.world_size == 1:
+            return
+        seq = self._next_seq()
+        with trace_span("dist.barrier"):
+            if self.rank == 0:
+                for peer in range(1, self.world_size):
+                    self._recv(peer, "bar-in", seq)
+                for peer in range(1, self.world_size):
+                    self._send(peer, "bar-out", seq, None)
+            else:
+                self._send(0, "bar-in", seq, None)
+                self._recv(0, "bar-out", seq)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Collect one object per rank at ``root`` (rank order); None elsewhere."""
+        if self.world_size == 1:
+            return [obj]
+        seq = self._next_seq()
+        with trace_span("dist.gather"):
+            if self.rank == root:
+                out: List[Any] = []
+                for peer in range(self.world_size):
+                    if peer == root:
+                        out.append(obj)
+                    else:
+                        out.append(self._recv(peer, "gather", seq))
+                return out
+            self._send(root, "gather", seq, obj)
+            return None
+
+    def all_gather(self, obj: Any) -> List[Any]:
+        """Every rank receives the rank-ordered list of every rank's object."""
+        if self.world_size == 1:
+            return [obj]
+        seq = self._next_seq()
+        with self.metrics.timer("dist.allgather_seconds"), \
+                trace_span("dist.allgather"):
+            if self.rank == 0:
+                gathered = [obj]
+                for peer in range(1, self.world_size):
+                    gathered.append(self._recv(peer, "ag-in", seq))
+                for peer in range(1, self.world_size):
+                    self._send(peer, "ag-out", seq, gathered)
+                return gathered
+            self._send(0, "ag-in", seq, obj)
+            return self._recv(0, "ag-out", seq)
+
+    def all_reduce(self, flat: np.ndarray) -> np.ndarray:
+        """Deterministic ring all-reduce (sum) over a flat 1-D buffer.
+
+        Reduce-scatter then all-gather over ``world_size`` fixed chunks.
+        Within a chunk the accumulation order is the ring order starting
+        from the chunk's owner, so the floating-point result is a pure
+        function of (values, world size) — bit-identical run to run.
+        """
+        flat = np.asarray(flat)
+        if flat.ndim != 1:
+            raise ValueError("all_reduce expects a flat 1-D buffer")
+        if self.world_size == 1:
+            return flat.copy()
+
+        world = self.world_size
+        sizes = self.all_gather(int(flat.size))
+        if len(set(sizes)) != 1:
+            raise ProtocolError(
+                f"rank {self.rank}: all_reduce buffer sizes differ: {sizes}"
+            )
+
+        result = flat.copy()
+        bounds = [(i * flat.size) // world for i in range(world + 1)]
+        chunk = lambda i: result[bounds[i % world]:bounds[i % world + 1]]  # noqa: E731
+        right = (self.rank + 1) % world
+        left = (self.rank - 1) % world
+
+        started = time.perf_counter()
+        with trace_span("dist.allreduce"):
+            # Reduce-scatter: after W-1 steps rank r owns the full sum of
+            # chunk (r+1) mod W.
+            for step in range(world - 1):
+                seq = self._next_seq()
+                send_idx = (self.rank - step) % world
+                recv_idx = (self.rank - step - 1) % world
+                if self.rank == 0:
+                    self._send(right, "rs", seq, chunk(send_idx).copy())
+                    incoming = self._recv(left, "rs", seq)
+                else:
+                    incoming = self._recv(left, "rs", seq)
+                    self._send(right, "rs", seq, chunk(send_idx).copy())
+                chunk(recv_idx)[...] += incoming
+            # All-gather: circulate the reduced chunks.
+            for step in range(world - 1):
+                seq = self._next_seq()
+                send_idx = (self.rank - step + 1) % world
+                recv_idx = (self.rank - step) % world
+                if self.rank == 0:
+                    self._send(right, "ag", seq, chunk(send_idx).copy())
+                    incoming = self._recv(left, "ag", seq)
+                else:
+                    incoming = self._recv(left, "ag", seq)
+                    self._send(right, "ag", seq, chunk(send_idx).copy())
+                chunk(recv_idx)[...] = incoming
+        self.metrics.histogram("dist.allreduce_seconds").observe(
+            time.perf_counter() - started
+        )
+        return result

@@ -137,6 +137,21 @@ class Histogram:
         with self._lock:
             self._values.extend(float(v) for v in values)
 
+    def merge(self, other: Union["Histogram", Iterable[float]]) -> None:
+        """Fold another histogram's raw samples into this one.
+
+        Merging concatenates samples, so it is associative and — for
+        every quantile — commutative: ``np.percentile`` sorts, making
+        the p50/p95/p99 of a merged histogram independent of merge
+        order.  ``total``/``mean``/``std`` are floating-point sums over
+        the sample list and may differ across merge orders by normal
+        summation-reordering error (~1e-12 relative), which is the
+        documented tolerance for comparing aggregated per-rank metrics
+        against a single-process run.
+        """
+        values = other.values() if isinstance(other, Histogram) else other
+        self.observe_many(values)
+
     def values(self) -> List[float]:
         """Copy of the raw samples (thread-safe snapshot)."""
         with self._lock:
@@ -245,6 +260,43 @@ class MetricsRegistry:
             else:
                 lines.append(f"{name}  {value}")
         return "\n".join(lines)
+
+    def dump(self) -> Dict[str, Dict[str, object]]:
+        """Plain-container export of every metric's raw state.
+
+        Unlike :meth:`snapshot` (which condenses histograms into
+        summaries), a dump keeps raw histogram samples so dumps from
+        several processes can be merged losslessly — the transport
+        format for shipping per-rank worker metrics back to rank 0.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = metric.values()
+        return out
+
+    def merge(self, dump: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`dump` into this registry.
+
+        Counters add, gauges last-write-wins, histograms concatenate
+        raw samples (associative; see :meth:`Histogram.merge` for the
+        exact/tolerance contract on summaries).
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, values in dump.get("histograms", {}).items():
+            self.histogram(name).merge(values)
 
     def reset(self) -> None:
         """Reset every metric in place (handles held by callers stay valid)."""

@@ -293,6 +293,76 @@ class TestPlanCache:
         assert len(cache) == 0
         assert cache.get("k") is None
 
+    def test_concurrent_get_store_keeps_counters_consistent(self):
+        import threading
+
+        cache = PlanCache(max_plans=8)
+        workers = 8
+        rounds = 200
+        misses = [0] * workers
+
+        def pound(tid):
+            key = ("shape-a", "shape-b")[tid % 2]
+            for _ in range(rounds):
+                if cache.get(key) is None:
+                    misses[tid] += 1
+                    cache.store(key, object(), 0.1)
+
+        threads = [
+            threading.Thread(target=pound, args=(tid,))
+            for tid in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = cache.stats()
+        # Two shapes racing: every lookup is counted exactly once, every
+        # miss compiled exactly once, and nothing was evicted or lost.
+        assert stats["lookups"] == workers * rounds
+        assert stats["compiles"] == sum(misses)
+        assert stats["hits"] == stats["lookups"] - sum(misses)
+        assert stats["evictions"] == 0
+        assert stats["plans"] == 2
+        assert cache.get("shape-a") is not None
+        assert cache.get("shape-b") is not None
+
+    def test_eviction_frees_evicted_plans_arena(self):
+        import gc
+        import weakref
+
+        def make_plan(batch):
+            w = Tensor(np.linspace(-1.0, 1.0, 16).reshape(4, 4))
+
+            def fn(x):
+                return (x.matmul(w) + 1.0).relu().sum(axis=1)
+
+            traced = trace(fn, Tensor(np.zeros((batch, 4))))
+            optimize_graph(traced.graph)
+            return ExecutionPlan(traced)
+
+        small = make_plan(2)
+        big = make_plan(64)
+        assert big.arena_bytes > small.arena_bytes
+        evicted = weakref.ref(big)
+
+        cache = PlanCache(max_plans=1)
+        cache.store((64, 4), big, 1.0)
+        del big
+        cache.store((2, 4), small, 1.0)  # evicts the large plan
+        gc.collect()
+
+        assert cache.stats()["evictions"] == 1
+        # The evicted plan (and with it the arena backing its kernels)
+        # is actually collectable — the cache keeps no hidden reference.
+        assert evicted() is None
+        retained = sum(
+            plan.arena_bytes for plan in cache._plans.values()
+        )
+        assert retained == small.arena_bytes
+        assert f"{small.arena_bytes / 1024:.1f} KiB" in small.describe()
+
 
 # ----------------------------------------------------------------------
 # Compiled predict — bit-exactness across presets

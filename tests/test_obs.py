@@ -82,6 +82,48 @@ class TestHistogram:
     def test_percentiles_helper_empty_gives_zeros(self):
         assert percentiles([], (50.0, 95.0)) == (0.0, 0.0)
 
+    def test_merge_is_associative(self, rng):
+        # Property check over random shard decompositions: merging
+        # per-rank histograms in any grouping/order gives the exact
+        # quantiles of the pooled samples, and total/mean/std within
+        # the documented ~1e-12 relative tolerance.
+        for trial in range(20):
+            shards = [
+                rng.normal(size=rng.integers(1, 40)).tolist()
+                for _ in range(rng.integers(2, 5))
+            ]
+            pooled = [v for shard in shards for v in shard]
+
+            left = Histogram("left")  # ((a + b) + c) ...
+            for shard in shards:
+                left.merge(shard)
+            right = Histogram("right")  # ... vs (c + (b + a))
+            for shard in reversed(shards):
+                right.merge(shard)
+            nested = Histogram("nested")  # pre-merged pairs
+            half = Histogram("half")
+            for shard in shards[: len(shards) // 2]:
+                half.merge(shard)
+            nested.merge(half)
+            nested.merge([v for s in shards[len(shards) // 2:] for v in s])
+
+            for histogram in (left, right, nested):
+                summary = histogram.summary()
+                assert summary.count == len(pooled)
+                for q in (50.0, 95.0, 99.0):
+                    assert histogram.percentile(q) == float(
+                        np.percentile(pooled, q)
+                    )
+                assert summary.total == pytest.approx(
+                    float(np.sum(pooled)), rel=1e-12
+                )
+                assert summary.mean == pytest.approx(
+                    float(np.mean(pooled)), rel=1e-12
+                )
+                assert summary.std == pytest.approx(
+                    float(np.std(pooled)), rel=1e-9, abs=1e-12
+                )
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instance(self):
@@ -131,6 +173,32 @@ class TestMetricsRegistry:
 
     def test_global_registry_is_singleton(self):
         assert get_registry() is get_registry()
+
+    def test_dump_merge_round_trip(self):
+        # dump() → merge() is the transport for per-rank worker metrics:
+        # counters add, gauges last-write-wins, histogram summaries of
+        # the merged registry match pooling the raw samples.
+        ranks = []
+        for rank in range(3):
+            registry = MetricsRegistry()
+            registry.counter("steps").inc(4)
+            registry.gauge("rank").set(rank)
+            registry.histogram("lat").observe_many(
+                [0.1 * rank + 0.01 * i for i in range(5)]
+            )
+            ranks.append(registry.dump())
+        assert json.loads(json.dumps(ranks[0])) == ranks[0]
+
+        merged = MetricsRegistry()
+        for dump in ranks:
+            merged.merge(dump)
+        assert merged.counter("steps").value == 12
+        assert merged.gauge("rank").value == 2.0
+        pooled = [v for d in ranks for v in d["histograms"]["lat"]]
+        assert merged.histogram("lat").count == 15
+        assert merged.histogram("lat").percentile(95.0) == float(
+            np.percentile(pooled, 95.0)
+        )
 
 
 # ----------------------------------------------------------------------

@@ -317,6 +317,90 @@ class TestServeCompiled:
         finally:
             grounder.uncompile()
 
+    def test_two_shapes_racing_keep_plan_cache_consistent(self, tiny_grounder):
+        import threading
+
+        grounder, dataset = tiny_grounder
+        samples = list(dataset["val"])
+        expected = {
+            batch: grounder.ground_batch(samples[:batch]) for batch in (1, 2)
+        }
+        grounder.compile(max_plans=4)
+        errors = []
+
+        def pound(batch):
+            try:
+                for _ in range(5):
+                    got = grounder.ground_batch(samples[:batch])
+                    assert got.tobytes() == expected[batch].tobytes()
+            except BaseException as exc:
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=pound, args=(batch,))
+                for batch in (1, 2, 1, 2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors[0]
+            stats = grounder.plan_cache.stats()
+            # Two batch shapes raced their first compiles: every miss
+            # compiled exactly once, counters stayed coherent, and both
+            # plans survived (no spurious evictions).
+            assert stats["plans"] == 2
+            assert stats["evictions"] == 0
+            assert stats["lookups"] >= 20
+            assert stats["hits"] + stats["compiles"] == stats["lookups"]
+        finally:
+            grounder.uncompile()
+
+    def test_concurrent_submitters_compile_under_serving(self, tiny_grounder):
+        import threading
+
+        grounder, dataset = tiny_grounder
+        samples = list(dataset["val"])[:6]
+        eager = grounder.ground_batch(samples)
+        grounder.compile(max_plans=8)
+        errors = []
+        try:
+            # cache_size=0: every request must reach the model, so the
+            # racing submitters genuinely exercise plan compilation for
+            # whatever batch shapes the engine happens to form.
+            with grounder.serve(max_batch=4, max_wait=0.001,
+                                cache_size=0) as engine:
+
+                def submit(index):
+                    try:
+                        sample = samples[index % len(samples)]
+                        got = engine.ground(sample.image, sample.query,
+                                            timeout=60)
+                        assert got.tobytes() == eager[
+                            index % len(samples)
+                        ].tobytes()
+                    except BaseException as exc:
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=submit, args=(i,))
+                    for i in range(12)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                stats = engine.stats()
+            assert not errors, errors[0]
+            assert stats.completed == 12
+            cache_stats = grounder.plan_cache.stats()
+            assert cache_stats["hits"] + cache_stats["compiles"] == \
+                cache_stats["lookups"]
+            assert cache_stats["evictions"] == 0
+        finally:
+            grounder.uncompile()
+
     def test_compile_ms_histogram_lives_in_engine_registry(self, tiny_grounder):
         grounder, dataset = tiny_grounder
         sample = dataset["val"][0]
