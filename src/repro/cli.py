@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli evaluate --dataset RefCOCO --model model.npz
     python -m repro.cli ground --dataset RefCOCO --model model.npz --query "red dog"
     python -m repro.cli serve-bench --dataset RefCOCO --requests 128
+    python -m repro.cli serve-fleet --simulated --replicas 3 --kill-replica 0:5 --reload-at 60
     python -m repro.cli profile --target train-step --out trace.json
     python -m repro.cli tables --preset smoke --only table1 table5
 
@@ -239,6 +240,112 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_serve_fleet(args) -> int:
+    """Soak a fault-tolerant replica fleet against a timed trace."""
+    import tempfile
+
+    from repro.runtime import CheckpointManager, FaultPlan
+    from repro.serve import (
+        FleetConfig, FleetRouter, ReplicaSpec, build_latency_grounder,
+        build_yollo_grounder, run_soak, timed_trace,
+    )
+    from repro.utils.seeding import spawn_rng
+
+    _setup(args)
+    fault_plan = None
+    if args.kill_replica:
+        kills = {}
+        for token in args.kill_replica:
+            replica_id, _, ordinal = token.partition(":")
+            kills[int(replica_id)] = int(ordinal or 1)
+        fault_plan = FaultPlan(kill_replica_on_request=kills)
+
+    if args.simulated:
+        from repro.data.refcoco import GroundingSample
+
+        rng = spawn_rng("serve-fleet-pool")
+        pool = [
+            GroundingSample(image=rng.random((8, 8, 3)),
+                            query=f"synthetic object {i}", tokens=[],
+                            target_box=np.zeros(4), target_index=-1,
+                            scene=None, split="serve")
+            for i in range(16)
+        ]
+        spec = ReplicaSpec(
+            builder=build_latency_grounder,
+            builder_kwargs={"latency": args.latency},
+            max_batch=args.max_batch, cache_size=args.cache_size,
+            seed=args.seed, fault_plan=fault_plan,
+        )
+    else:
+        dataset = _build_dataset(args)
+        pool = list(dataset["val"]) or list(dataset["train"])
+        spec = ReplicaSpec(
+            builder=build_yollo_grounder,
+            builder_kwargs=dict(
+                dataset_name=args.dataset, scale=args.scale,
+                backbone=args.backbone, pretrain_steps=args.pretrain_steps,
+                model_path=args.model,
+            ),
+            max_batch=args.max_batch, cache_size=args.cache_size,
+            seed=args.seed,
+            dtype="float64" if args.float64 else "float32",
+            fault_plan=fault_plan,
+        )
+
+    reload_at = None
+    reload_checkpoint = None
+    reload_dir = None
+    if args.reload_at is not None:
+        # Roll the fleet onto a checkpoint mid-soak.  In simulated mode
+        # the new weights are observably different (version bump shows
+        # up in every response); for real models we re-checkpoint the
+        # current weights — the rolling protocol and checksum handshake
+        # are what is being exercised.
+        reload_dir = tempfile.TemporaryDirectory(prefix="fleet-reload-")
+        manager = CheckpointManager(reload_dir.name)
+        if args.simulated:
+            payload = {"version": np.array([2.0]), "bias": np.array([1.0])}
+        else:
+            probe = spec.builder(**spec.builder_kwargs)
+            target = (probe if hasattr(probe, "state_dict")
+                      else probe.model)
+            payload = target.state_dict()
+        reload_checkpoint = manager.save(payload, 1)
+        reload_at = args.reload_at
+
+    trace = timed_trace(pool, args.requests, rate_qps=args.rate,
+                        repeat_fraction=args.repeat_fraction)
+    config = FleetConfig(
+        replicas=args.replicas, max_queue=args.max_queue,
+        default_deadline=args.deadline,
+    )
+    try:
+        with FleetRouter(spec, config) as router:
+            if not router.wait_healthy(config.spawn_timeout):
+                raise SystemExit("fleet failed to become healthy")
+            report = run_soak(router, trace, reload_at=reload_at,
+                              reload_checkpoint=reload_checkpoint)
+            # let a just-respawned replica finish coming up, then
+            # re-snapshot so the health check sees the restored fleet
+            router.wait_healthy(30.0)
+            import dataclasses
+
+            report = dataclasses.replace(report, stats=router.stats())
+        print(report.render())
+        violations = report.check(slo_p99=args.slo_p99,
+                                  expected_replicas=args.replicas)
+        if violations:
+            for violation in violations:
+                print(f"SOAK VIOLATION: {violation}")
+            return 1
+        print("soak passed: no lost requests, SLO held, fleet healthy")
+        return 0
+    finally:
+        if reload_dir is not None:
+            reload_dir.cleanup()
+
+
 def cmd_profile(args) -> int:
     """Profile a train step, an inference batch, or a serve trace.
 
@@ -400,6 +507,45 @@ def build_parser() -> argparse.ArgumentParser:
                              help="serve through graph-compiled plans "
                                   "(trace once per batch shape, replay)")
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    fleet = sub.add_parser(
+        "serve-fleet",
+        help="soak a fault-tolerant replica fleet against a timed trace")
+    _add_common(fleet)
+    fleet.add_argument("--replicas", type=int, default=3,
+                       help="serving replica processes")
+    fleet.add_argument("--requests", type=int, default=120,
+                       help="timed-trace length")
+    fleet.add_argument("--rate", type=float, default=100.0,
+                       help="mean arrival rate (requests/second)")
+    fleet.add_argument("--repeat-fraction", type=float, default=0.3)
+    fleet.add_argument("--deadline", type=float, default=10.0,
+                       help="per-attempt deadline in seconds")
+    fleet.add_argument("--max-queue", type=int, default=128,
+                       help="admission queue bound (full queue sheds)")
+    fleet.add_argument("--max-batch", type=int, default=8)
+    fleet.add_argument("--cache-size", type=int, default=256)
+    fleet.add_argument("--simulated", action="store_true",
+                       help="serve a fixed-latency simulated model instead "
+                            "of a real YOLLO grounder")
+    fleet.add_argument("--latency", type=float, default=0.002,
+                       help="simulated per-batch forward latency seconds "
+                            "(with --simulated)")
+    fleet.add_argument("--model", default=None,
+                       help="checkpoint replicas serve (real-model mode)")
+    fleet.add_argument("--backbone", default="tiny")
+    fleet.add_argument("--pretrain-steps", type=int, default=1)
+    fleet.add_argument("--kill-replica", nargs="*", default=None,
+                       metavar="ID:ORDINAL",
+                       help="deterministically crash replica ID on its "
+                            "ORDINAL-th request (e.g. 0:3)")
+    fleet.add_argument("--reload-at", type=int, default=None,
+                       help="start a rolling hot weight reload after this "
+                            "many requests have been submitted")
+    fleet.add_argument("--slo-p99", type=float, default=None,
+                       help="fail the soak if p99 latency exceeds this "
+                            "many seconds")
+    fleet.set_defaults(func=cmd_serve_fleet)
 
     prof = sub.add_parser(
         "profile",

@@ -25,6 +25,7 @@ from repro.runtime.guards import (
 )
 from repro.runtime.retry import (
     RetryExhaustedError,
+    backoff_delay,
     graceful,
     retry_call,
     with_retry,
@@ -50,6 +51,7 @@ __all__ = [
     "GuardVerdict",
     "nonfinite_gradients",
     "RetryExhaustedError",
+    "backoff_delay",
     "retry_call",
     "with_retry",
     "graceful",

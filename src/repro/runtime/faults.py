@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 
@@ -65,6 +65,9 @@ class FaultPlan:
     corrupt_checkpoint_on: Set[int] = field(default_factory=set)
     corruption_mode: str = "flip"
     eval_error_at: Set[int] = field(default_factory=set)
+    #: Serving-fleet faults: replica id -> 1-based request ordinal at
+    #: which that replica process dies upon receipt (simulated kill).
+    kill_replica_on_request: Dict[int, int] = field(default_factory=dict)
     fire_once: bool = True
     _fired: Set[str] = field(default_factory=set, repr=False)
 
@@ -98,6 +101,23 @@ class FaultPlan:
         if self._fires("nan-loss", iteration, iteration in self.nonfinite_loss_at):
             return float("nan")
         return loss
+
+    # ------------------------------------------------------------------
+    # Serving-fleet hooks (called by repro.serve.replica)
+    # ------------------------------------------------------------------
+    def on_replica_request(self, replica_id: int, ordinal: int) -> None:
+        """Crash replica ``replica_id`` on receiving its Nth request.
+
+        Raises :class:`SimulatedCrash`, which the replica entry point
+        turns into an ``os._exit`` — the process dies mid-service with
+        requests in flight, exactly like a real kill, so the router's
+        requeue/respawn paths are exercised deterministically.
+        """
+        scheduled = self.kill_replica_on_request.get(replica_id) == ordinal
+        if self._fires("replica-kill", replica_id, scheduled):
+            raise SimulatedCrash(
+                f"injected crash of replica {replica_id} on request {ordinal}"
+            )
 
     def on_eval(self, iteration: int) -> None:
         if self._fires("eval", iteration, iteration in self.eval_error_at):

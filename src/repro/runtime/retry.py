@@ -19,6 +19,30 @@ class RetryExhaustedError(RuntimeError):
     """All retry attempts failed; the last exception is chained as cause."""
 
 
+def backoff_delay(
+    attempt: int,
+    *,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    jitter: float = 0.5,
+    rng=None,
+) -> float:
+    """Jittered exponential backoff for 1-based ``attempt``.
+
+    The deterministic part is ``base_delay * 2**(attempt-1)`` capped at
+    ``max_delay``; the result is then multiplied by a random factor in
+    ``[1, 1+jitter]`` drawn from ``rng`` so that parallel clients
+    retrying a shared resource de-synchronise.  This is the single
+    backoff schedule shared by :func:`retry_call` and the serving
+    fleet's deadline-retry and respawn paths.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based and must be at least 1")
+    rng = rng if rng is not None else spawn_rng("retry-backoff")
+    delay = min(max_delay, base_delay * (2.0 ** (attempt - 1)))
+    return delay * (1.0 + jitter * float(rng.random()))
+
+
 def retry_call(
     fn: Callable[[], Any],
     *,
@@ -50,8 +74,8 @@ def retry_call(
                 raise RetryExhaustedError(
                     f"{describe} failed after {attempts} attempt(s): {exc!r}"
                 ) from exc
-            delay = min(max_delay, base_delay * (2.0 ** (attempt - 1)))
-            delay *= 1.0 + jitter * float(rng.random())
+            delay = backoff_delay(attempt, base_delay=base_delay,
+                                  max_delay=max_delay, jitter=jitter, rng=rng)
             if logger is not None:
                 logger.log(
                     f"{describe} failed (attempt {attempt}/{attempts}): "

@@ -1,4 +1,4 @@
-"""Serving layer: micro-batched, cached, instrumented grounding inference.
+"""Serving layer: micro-batched, cached, fault-tolerant grounding inference.
 
 ``ServeEngine`` queues incoming (image, query) requests, batches them
 dynamically (up to ``max_batch`` requests or ``max_wait`` seconds), runs
@@ -6,19 +6,79 @@ one ``no_grad`` forward per batch through any grounder implementing the
 batch protocol, and answers repeats from an LRU cache.  ``ServerStats``
 reports p50/p95/p99 latency, throughput, queue depth, cache hit rate,
 and the batch-size histogram.
+
+``FleetRouter`` scales that engine out: N replica subprocesses behind a
+least-loaded router with bounded-queue backpressure (typed
+``Overloaded`` shedding), per-request deadlines with one cross-replica
+retry, crash detection + respawn, and rolling hot weight reloads
+verified by a checksum handshake.  ``run_soak`` replays a timed trace
+against the fleet — with deterministic fault injection — and asserts
+the no-lost-requests / p99 SLO invariants.
 """
 
 from repro.serve.cache import LRUCache, image_digest
-from repro.serve.engine import ServeEngine
+from repro.serve.engine import (
+    EngineDrainTimeout,
+    EngineStopped,
+    ServeEngine,
+)
+from repro.serve.fleet import (
+    DeadlineExceeded,
+    FleetConfig,
+    FleetError,
+    FleetRouter,
+    FleetStats,
+    FleetStopped,
+    Overloaded,
+    ReloadError,
+    ReloadReport,
+    ReplicaLost,
+)
+from repro.serve.replica import (
+    LatencyGrounder,
+    ReplicaSpec,
+    build_latency_grounder,
+    build_yollo_grounder,
+    load_checkpoint_payload,
+    state_checksum,
+)
+from repro.serve.soak import SoakReport, run_soak
 from repro.serve.stats import ServerStats, StatsRecorder
-from repro.serve.trace import TraceRequest, synthetic_trace
+from repro.serve.trace import (
+    TimedRequest,
+    TraceRequest,
+    synthetic_trace,
+    timed_trace,
+)
 
 __all__ = [
     "LRUCache",
     "image_digest",
     "ServeEngine",
+    "EngineStopped",
+    "EngineDrainTimeout",
     "ServerStats",
     "StatsRecorder",
     "TraceRequest",
+    "TimedRequest",
     "synthetic_trace",
+    "timed_trace",
+    "FleetRouter",
+    "FleetConfig",
+    "FleetStats",
+    "FleetError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ReplicaLost",
+    "FleetStopped",
+    "ReloadError",
+    "ReloadReport",
+    "ReplicaSpec",
+    "LatencyGrounder",
+    "build_latency_grounder",
+    "build_yollo_grounder",
+    "state_checksum",
+    "load_checkpoint_payload",
+    "SoakReport",
+    "run_soak",
 ]

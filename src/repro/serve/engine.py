@@ -37,6 +37,25 @@ from repro.text.tokenizer import tokenize
 _SHUTDOWN = object()
 
 
+class EngineStopped(RuntimeError):
+    """The engine was stopping (or stopped) before this request was served.
+
+    Raised synchronously by :meth:`ServeEngine.submit` for requests that
+    race an in-progress :meth:`ServeEngine.stop`, and set on any future
+    whose request was still queued when the worker drained out — no
+    future is ever left permanently unresolved by a shutdown.
+    """
+
+
+class EngineDrainTimeout(RuntimeError):
+    """``stop`` timed out waiting for the worker to drain.
+
+    The worker thread is still alive and still referenced (``running``
+    stays truthful); call :meth:`ServeEngine.stop` again to finish the
+    shutdown once the in-flight batch completes.
+    """
+
+
 @dataclass
 class _Pending:
     """One queued request awaiting its batch."""
@@ -84,6 +103,10 @@ class ServeEngine:
     Use as a context manager, or call :meth:`start`/:meth:`stop`.
     ``submit`` starts the worker lazily, so the one-liner
     ``Grounder(...).serve().ground(image, "red dog")`` also works.
+    Submitting after a completed ``stop`` restarts the worker (documented
+    lazy restart); submitting while a ``stop`` is draining raises
+    :class:`EngineStopped`, and a shutdown resolves every still-queued
+    future with :class:`EngineStopped` — no request is ever lost.
     """
 
     def __init__(
@@ -106,6 +129,13 @@ class ServeEngine:
         self._cache_lock = threading.Lock()
         self._recorder = StatsRecorder(registry=metrics)
         self._thread: threading.Thread = None
+        # Guards the submit/stop race: enqueueing a request and pushing
+        # the shutdown sentinel are serialised, so a request either lands
+        # ahead of the sentinel (and is served) or observes ``_stopping``
+        # and is rejected with ``EngineStopped`` — never silently lost
+        # behind the sentinel.
+        self._lifecycle = threading.Lock()
+        self._stopping = False
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -127,13 +157,56 @@ class ServeEngine:
             self._thread.start()
         return self
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued ahead of the worker (approximate)."""
+        return self._queue.qsize()
+
     def stop(self, timeout: float = 30.0) -> None:
-        """Drain queued requests, then stop the worker thread."""
-        if not self.running:
-            return
-        self._queue.put(_SHUTDOWN)
-        self._thread.join(timeout)
-        self._thread = None
+        """Drain queued requests, then stop the worker thread.
+
+        Raises :class:`EngineDrainTimeout` if the worker has not drained
+        within ``timeout`` seconds; the thread reference is kept (so
+        :attr:`running` stays truthful) and ``stop`` may be called again.
+        Any request still queued after the worker exits — possible only
+        for requests that raced a previous timed-out stop — has its
+        future resolved with :class:`EngineStopped` rather than being
+        left to hang.
+        """
+        with self._lifecycle:
+            if not self.running:
+                self._thread = None
+                self._fail_leftovers()
+                return
+            self._stopping = True
+            self._queue.put(_SHUTDOWN)
+            thread = self._thread
+        try:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise EngineDrainTimeout(
+                    f"serve worker still draining after {timeout}s; "
+                    f"engine is still running — call stop() again"
+                )
+            self._thread = None
+            self._fail_leftovers()
+        finally:
+            with self._lifecycle:
+                self._stopping = False
+
+    def _fail_leftovers(self) -> None:
+        """Resolve any still-queued requests with ``EngineStopped``."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SHUTDOWN:
+                continue
+            if not item.future.done():
+                item.future.set_exception(EngineStopped(
+                    "engine stopped before this request was served"
+                ))
 
     def __enter__(self) -> "ServeEngine":
         return self.start()
@@ -145,8 +218,13 @@ class ServeEngine:
     # Request API
     # ------------------------------------------------------------------
     def submit(self, image: np.ndarray, query: str) -> Future:
-        """Enqueue one request; returns a future resolving to a (4,) box."""
-        self.start()
+        """Enqueue one request; returns a future resolving to a (4,) box.
+
+        Submitting to a fully stopped engine restarts the worker (the
+        documented lazy-start behaviour backing the one-liner usage);
+        submitting *while* :meth:`stop` is draining raises
+        :class:`EngineStopped` instead of racing the shutdown sentinel.
+        """
         now = time.perf_counter()
         self._recorder.record_request()
         key = (image_digest(image), str(query))
@@ -157,7 +235,11 @@ class ServeEngine:
             self._recorder.record_completion(time.perf_counter() - now, hit=True)
             future.set_result(np.array(cached, copy=True))
             return future
-        self._queue.put(_Pending(_make_sample(image, query), key, future, now))
+        with self._lifecycle:
+            if self._stopping:
+                raise EngineStopped("engine is stopping; request rejected")
+            self.start()
+            self._queue.put(_Pending(_make_sample(image, query), key, future, now))
         return future
 
     def ground(self, image: np.ndarray, query: str, timeout: float = 60.0) -> np.ndarray:

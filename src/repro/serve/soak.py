@@ -1,0 +1,203 @@
+"""Trace-driven soak harness for the serving fleet.
+
+Replays a :func:`~repro.serve.trace.timed_trace` against a
+:class:`~repro.serve.fleet.FleetRouter` at the trace's own arrival
+times (open-loop load), optionally firing a rolling weight reload
+mid-run, and then classifies **every** submitted future:
+
+``ok`` / ``shed`` (:class:`Overloaded`) / ``deadline``
+(:class:`DeadlineExceeded`) / ``failed`` (other typed errors) /
+``lost`` (a future that never resolved — the invariant violation the
+whole fleet design exists to prevent).
+
+:meth:`SoakReport.check` turns the classification into a pass/fail
+verdict: zero lost requests, a p99 latency SLO, and the full replica
+count restored after any injected crash.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.fleet import (
+    DeadlineExceeded,
+    FleetError,
+    FleetRouter,
+    FleetStats,
+    Overloaded,
+)
+from repro.serve.trace import TimedRequest
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Outcome of one soak run: per-request classification plus stats."""
+
+    submitted: int
+    ok: int
+    shed: int
+    deadline: int
+    failed: int
+    #: Futures that never resolved — must be zero, always.
+    lost: int
+    wall_seconds: float
+    stats: FleetStats
+    reload_report: Optional[Any] = None
+    reload_error: Optional[str] = None
+    failures: Tuple[str, ...] = ()
+
+    @property
+    def resolved(self) -> int:
+        return self.ok + self.shed + self.deadline + self.failed
+
+    def check(self, slo_p99: Optional[float] = None,
+              expected_replicas: Optional[int] = None,
+              max_shed_fraction: Optional[float] = None) -> List[str]:
+        """Return the list of violated invariants (empty == pass)."""
+        violations: List[str] = []
+        if self.lost:
+            violations.append(
+                f"{self.lost} request(s) lost (unresolved futures)")
+        if self.resolved != self.submitted:
+            violations.append(
+                f"classification mismatch: {self.resolved} resolved vs "
+                f"{self.submitted} submitted")
+        if slo_p99 is not None and self.stats.latency_p99 > slo_p99:
+            violations.append(
+                f"p99 latency {self.stats.latency_p99 * 1e3:.2f}ms exceeds "
+                f"SLO {slo_p99 * 1e3:.2f}ms")
+        if expected_replicas is not None \
+                and self.stats.alive != expected_replicas:
+            violations.append(
+                f"{self.stats.alive} replicas alive, expected "
+                f"{expected_replicas}")
+        if max_shed_fraction is not None and self.submitted:
+            fraction = self.shed / self.submitted
+            if fraction > max_shed_fraction:
+                violations.append(
+                    f"shed fraction {fraction:.2%} exceeds "
+                    f"{max_shed_fraction:.2%}")
+        if self.reload_error is not None:
+            violations.append(f"rolling reload failed: {self.reload_error}")
+        return violations
+
+    def render(self) -> str:
+        lines = [
+            f"soak     {self.ok}/{self.submitted} ok, {self.shed} shed, "
+            f"{self.deadline} deadline, {self.failed} failed, "
+            f"{self.lost} LOST in {self.wall_seconds:.2f}s",
+        ]
+        if self.reload_report is not None:
+            lines.append(
+                f"reload   rolled {len(self.reload_report.replicas)} "
+                f"replica(s) in {self.reload_report.wall_seconds:.2f}s "
+                f"mid-soak")
+        if self.reload_error is not None:
+            lines.append(f"reload   FAILED: {self.reload_error}")
+        lines.append(self.stats.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class _ReloadTask:
+    """Background rolling-reload fired when the trace reaches an index."""
+
+    router: FleetRouter
+    checkpoint: str
+    report: Optional[Any] = None
+    error: Optional[str] = None
+    thread: Optional[threading.Thread] = None
+
+    def fire(self) -> None:
+        def run() -> None:
+            try:
+                self.report = self.router.reload_weights(self.checkpoint)
+            except Exception as exc:
+                self.error = repr(exc)
+
+        self.thread = threading.Thread(target=run, name="soak-reload",
+                                       daemon=True)
+        self.thread.start()
+
+    def join(self, timeout: float) -> None:
+        if self.thread is not None:
+            self.thread.join(timeout)
+            if self.thread.is_alive() and self.error is None:
+                self.error = f"reload still running after {timeout}s"
+
+
+def run_soak(
+    router: FleetRouter,
+    trace: Sequence[TimedRequest],
+    deadline: Optional[float] = None,
+    reload_at: Optional[int] = None,
+    reload_checkpoint: Optional[str] = None,
+    settle_timeout: float = 60.0,
+) -> SoakReport:
+    """Replay ``trace`` against ``router`` and classify every outcome.
+
+    Requests are submitted open-loop at each request's ``arrival``
+    offset (never waiting on responses — queueing pressure is part of
+    the test).  If ``reload_at`` is given, a rolling reload of
+    ``reload_checkpoint`` starts in the background the moment that many
+    requests have been submitted.  After the last submission, futures
+    are awaited up to ``settle_timeout``; anything still unresolved is
+    counted as **lost**.
+    """
+    if (reload_at is None) != (reload_checkpoint is None):
+        raise ValueError(
+            "reload_at and reload_checkpoint must be given together")
+    router.start()
+    reload_task = (_ReloadTask(router, reload_checkpoint)
+                   if reload_checkpoint is not None else None)
+    futures: List[Future] = []
+    started = time.monotonic()
+    for index, request in enumerate(trace):
+        if reload_task is not None and index == reload_at:
+            reload_task.fire()
+        lag = started + request.arrival - time.monotonic()
+        if lag > 0:
+            time.sleep(lag)
+        futures.append(
+            router.submit(request.image, request.query, deadline=deadline))
+    if reload_task is not None and reload_task.thread is None:
+        reload_task.fire()  # reload_at beyond the trace: fire at the end
+
+    counts: Dict[str, int] = {"ok": 0, "shed": 0, "deadline": 0,
+                              "failed": 0, "lost": 0}
+    failures: List[str] = []
+    settle_deadline = time.monotonic() + settle_timeout
+    for future in futures:
+        remaining = max(0.01, settle_deadline - time.monotonic())
+        try:
+            future.result(timeout=remaining)
+            counts["ok"] += 1
+        except Overloaded:
+            counts["shed"] += 1
+        except DeadlineExceeded:
+            counts["deadline"] += 1
+        except FleetError as exc:
+            counts["failed"] += 1
+            failures.append(repr(exc))
+        except TimeoutError:
+            counts["lost"] += 1
+        except Exception as exc:  # non-fleet error: a real bug, count it
+            counts["failed"] += 1
+            failures.append(repr(exc))
+    if reload_task is not None:
+        reload_task.join(max(0.01, settle_deadline - time.monotonic()))
+
+    return SoakReport(
+        submitted=len(futures),
+        ok=counts["ok"], shed=counts["shed"], deadline=counts["deadline"],
+        failed=counts["failed"], lost=counts["lost"],
+        wall_seconds=time.monotonic() - started,
+        stats=router.stats(),
+        reload_report=reload_task.report if reload_task else None,
+        reload_error=reload_task.error if reload_task else None,
+        failures=tuple(failures[:10]),
+    )

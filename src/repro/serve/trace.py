@@ -25,6 +25,18 @@ class TraceRequest:
     query: str
 
 
+@dataclass
+class TimedRequest(TraceRequest):
+    """A trace request with an arrival offset (seconds from trace start).
+
+    The soak harness replays these against a serving fleet, sleeping
+    until each request's ``arrival`` before submitting — sustained load
+    at a target rate rather than a single burst.
+    """
+
+    arrival: float = 0.0
+
+
 def synthetic_trace(
     samples: Sequence[GroundingSample],
     num_requests: int,
@@ -51,3 +63,31 @@ def synthetic_trace(
             sample = samples[int(rng.integers(len(samples)))]
             trace.append(TraceRequest(image=sample.image, query=sample.query))
     return trace
+
+
+def timed_trace(
+    samples: Sequence[GroundingSample],
+    num_requests: int,
+    rate_qps: float,
+    repeat_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+) -> List[TimedRequest]:
+    """A :func:`synthetic_trace` with Poisson arrival times at ``rate_qps``.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_qps`` (a
+    memoryless open-loop arrival process — the standard load model for
+    latency SLO testing, since bursts arise naturally).  Content draws
+    and arrival draws come from the same injected ``rng``, so a trace is
+    fully determined by ``(samples, num_requests, rate_qps,
+    repeat_fraction, seed)``.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    rng = rng if rng is not None else spawn_rng("serve-trace")
+    content = synthetic_trace(samples, num_requests,
+                              repeat_fraction=repeat_fraction, rng=rng)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_qps, size=num_requests))
+    return [
+        TimedRequest(image=req.image, query=req.query, arrival=float(at))
+        for req, at in zip(content, arrivals)
+    ]

@@ -45,6 +45,26 @@ class TestParser:
         )
         assert args.compiled is True
 
+    def test_serve_fleet_defaults(self):
+        args = build_parser().parse_args(["serve-fleet"])
+        assert args.replicas == 3
+        assert args.requests == 120
+        assert args.simulated is False
+        assert args.kill_replica is None
+        assert args.reload_at is None
+        assert args.slo_p99 is None
+
+    def test_serve_fleet_fault_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve-fleet", "--simulated", "--replicas", "2",
+            "--kill-replica", "0:3", "1:5", "--reload-at", "40",
+            "--slo-p99", "0.5",
+        ])
+        assert args.simulated is True
+        assert args.kill_replica == ["0:3", "1:5"]
+        assert args.reload_at == 40
+        assert args.slo_p99 == pytest.approx(0.5)
+
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile"])
         assert args.target == "train-step"

@@ -1,0 +1,342 @@
+"""Serving fleet: routing, backpressure, deadlines, respawn, hot reload.
+
+The multi-process tests are marked ``dist`` (included in the tier-1 run,
+like ``test_dist.py``) and every test in this module runs under a
+``faulthandler`` watchdog: a hung fleet dumps all thread stacks and
+kills the test run instead of wedging CI.
+"""
+
+import faulthandler
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.refcoco import GroundingSample
+from repro.runtime import CheckpointManager, FaultPlan
+from repro.serve import (
+    DeadlineExceeded,
+    FleetConfig,
+    FleetRouter,
+    FleetStopped,
+    LatencyGrounder,
+    Overloaded,
+    ReloadError,
+    ReplicaSpec,
+    build_latency_grounder,
+    run_soak,
+    state_checksum,
+    timed_trace,
+)
+from repro.utils.seeding import spawn_rng
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Dump all stacks and abort if any fleet test wedges for 120s."""
+    faulthandler.dump_traceback_later(120.0, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
+
+
+def make_samples(count, shape=(8, 8, 3), seed_name="fleet-samples"):
+    rng = spawn_rng(seed_name)
+    return [
+        GroundingSample(
+            image=rng.random(shape), query=f"object number {i}",
+            tokens=[], target_box=np.zeros(4), target_index=-1,
+            scene=None, split="test",
+        )
+        for i in range(count)
+    ]
+
+
+def latency_spec(latency=0.002, **overrides):
+    kwargs = dict(
+        builder=build_latency_grounder,
+        builder_kwargs={"latency": latency},
+        max_batch=4,
+        cache_size=0,
+    )
+    kwargs.update(overrides)
+    return ReplicaSpec(**kwargs)
+
+
+def save_checkpoint(tmp_path, version, bias):
+    manager = CheckpointManager(str(tmp_path))
+    state = {"version": np.array([float(version)]),
+             "bias": np.array([float(bias)])}
+    return manager.save(state, int(version)), state
+
+
+# ----------------------------------------------------------------------
+# Pure-logic units (no subprocesses)
+# ----------------------------------------------------------------------
+class TestChecksum:
+    def test_checksum_ignores_dtype_and_order(self):
+        a = {"w": np.arange(6, dtype=np.float32).reshape(2, 3),
+             "b": np.ones(3, dtype=np.float32)}
+        b = {"b": np.ones(3, dtype=np.float64),
+             "w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        assert state_checksum(a) == state_checksum(b)
+
+    def test_checksum_distinguishes_values_and_shapes(self):
+        base = {"w": np.zeros((2, 3))}
+        assert state_checksum(base) != state_checksum({"w": np.ones((2, 3))})
+        assert state_checksum(base) != state_checksum({"w": np.zeros((3, 2))})
+        assert state_checksum(base) != state_checksum({"v": np.zeros((2, 3))})
+
+
+class TestTimedTrace:
+    def test_same_seed_same_trace(self):
+        samples = make_samples(4)
+        one = timed_trace(samples, 20, rate_qps=100.0, rng=spawn_rng("t"))
+        two = timed_trace(samples, 20, rate_qps=100.0, rng=spawn_rng("t"))
+        assert [r.arrival for r in one] == [r.arrival for r in two]
+        assert [r.query for r in one] == [r.query for r in two]
+
+    def test_arrivals_are_increasing_at_requested_rate(self):
+        samples = make_samples(2)
+        trace = timed_trace(samples, 200, rate_qps=50.0, rng=spawn_rng("t2"))
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert 0.5 / 50.0 < mean_gap < 2.0 / 50.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            timed_trace(make_samples(1), 5, rate_qps=0.0)
+
+
+class TestReplicaKillPlan:
+    def test_fires_once_on_the_scheduled_ordinal(self):
+        from repro.runtime.faults import SimulatedCrash
+
+        plan = FaultPlan(kill_replica_on_request={1: 3})
+        plan.on_replica_request(1, 1)
+        plan.on_replica_request(1, 2)
+        with pytest.raises(SimulatedCrash):
+            plan.on_replica_request(1, 3)
+        # fire-once: the same (kind, key) never trips again
+        plan.on_replica_request(1, 3)
+        plan.on_replica_request(0, 3)
+
+
+class TestFleetConfig:
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            FleetConfig(replicas=0)
+        with pytest.raises(ValueError):
+            FleetConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            FleetConfig(retry_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Live fleets (spawned subprocess replicas)
+# ----------------------------------------------------------------------
+@pytest.mark.dist
+class TestFleetServing:
+    def test_requests_route_and_all_resolve(self):
+        samples = make_samples(5)
+        cfg = FleetConfig(replicas=2, max_queue=64, default_deadline=15.0)
+        with FleetRouter(latency_spec(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            futures = [router.submit(s.image, s.query)
+                       for s in samples for _ in range(4)]
+            boxes = [f.result(timeout=30.0) for f in futures]
+        for box, sample in zip(boxes, [s for s in samples for _ in range(4)]):
+            assert box.shape == (4,)
+            assert box[0] == pytest.approx(float(sample.image.sum()))
+        stats = router.stats()
+        assert stats.completed == len(futures)
+        assert stats.shed == 0
+        # least-loaded routing used both replicas
+        assert sum(1 for r in stats.replicas if r["served"] > 0) == 2
+
+    def test_overload_sheds_with_typed_rejection(self):
+        samples = make_samples(2)
+        cfg = FleetConfig(replicas=1, max_queue=2, max_replica_inflight=1,
+                          default_deadline=30.0)
+        with FleetRouter(latency_spec(latency=0.05, max_batch=1), cfg) \
+                as router:
+            assert router.wait_healthy(60.0)
+            futures = [router.submit(samples[i % 2].image, f"burst {i}")
+                       for i in range(10)]
+            outcomes = {"ok": 0, "shed": 0}
+            for future in futures:
+                try:
+                    future.result(timeout=60.0)
+                    outcomes["ok"] += 1
+                except Overloaded:
+                    outcomes["shed"] += 1
+        assert outcomes["shed"] >= 1, "bounded queue never shed load"
+        assert outcomes["ok"] >= 1
+        assert outcomes["ok"] + outcomes["shed"] == 10
+        assert router.stats().shed == outcomes["shed"]
+
+    def test_deadline_retries_then_types_out(self):
+        samples = make_samples(1)
+        cfg = FleetConfig(replicas=2, max_queue=16,
+                          retry_attempts=2, retry_base_delay=0.001,
+                          retry_max_delay=0.01)
+        # every forward takes 0.4s; a 0.05s deadline can never be met
+        with FleetRouter(latency_spec(latency=0.4, max_batch=1), cfg) \
+                as router:
+            assert router.wait_healthy(60.0)
+            future = router.submit(samples[0].image, samples[0].query,
+                                   deadline=0.05)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30.0)
+        stats = router.stats()
+        assert stats.retries >= 1, "expired attempt was not retried"
+        assert stats.deadline_exceeded == 1
+
+    def test_crash_respawns_and_loses_nothing(self):
+        samples = make_samples(4)
+        plan = FaultPlan(kill_replica_on_request={0: 2})
+        cfg = FleetConfig(replicas=2, max_queue=64, default_deadline=20.0,
+                          heartbeat_timeout=3.0)
+        with FleetRouter(latency_spec(fault_plan=plan), cfg) as router:
+            assert router.wait_healthy(60.0)
+            futures = [router.submit(samples[i % 4].image, f"req {i}")
+                       for i in range(24)]
+            boxes = [f.result(timeout=60.0) for f in futures]
+            assert len(boxes) == 24
+            assert router.wait_healthy(60.0), "replica count not restored"
+        stats = router.stats()
+        assert stats.respawns >= 1
+        assert stats.completed == 24
+        assert any(r["generation"] >= 1 for r in stats.replicas)
+
+    def test_post_stop_submit_resolves_with_fleet_stopped(self):
+        cfg = FleetConfig(replicas=1, max_queue=4)
+        router = FleetRouter(latency_spec(), cfg).start()
+        assert router.wait_healthy(60.0)
+        router.stop()
+        future = router.submit(np.ones((4, 4, 3)), "late request")
+        with pytest.raises(FleetStopped):
+            future.result(timeout=5.0)
+
+
+@pytest.mark.dist
+class TestHotReload:
+    def test_rolling_reload_swaps_weights_without_drops(self, tmp_path):
+        samples = make_samples(3)
+        ckpt, state = save_checkpoint(tmp_path, version=7, bias=3)
+        cfg = FleetConfig(replicas=2, max_queue=64, default_deadline=20.0)
+        with FleetRouter(latency_spec(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            before = router.ground(samples[0].image, samples[0].query)
+            assert before[2] == 0.0 and before[3] == 1.0
+            report = router.reload_weights(ckpt, timeout=60.0)
+            assert report.checksum == state_checksum(state)
+            assert len(report.replicas) == 2
+            assert all(r["checksum"] == report.checksum
+                       for r in report.replicas)
+            after = router.ground(samples[0].image, samples[0].query)
+            assert after[2] == 7.0 and after[3] == 3.0
+        assert router.stats().reloads == 1
+
+    def test_corrupt_checkpoint_is_rejected_before_any_replica(
+            self, tmp_path):
+        from repro.runtime import CheckpointCorruptError, corrupt_file
+
+        ckpt, _ = save_checkpoint(tmp_path, version=9, bias=9)
+        corrupt_file(ckpt)
+        cfg = FleetConfig(replicas=1, max_queue=8)
+        with FleetRouter(latency_spec(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            with pytest.raises(CheckpointCorruptError):
+                router.reload_weights(ckpt)
+            # fleet still serves the old weights
+            box = router.ground(np.ones((4, 4, 3)), "still up")
+            assert box[2] == 0.0 and box[3] == 1.0
+
+    def test_respawned_replica_joins_at_reloaded_weights(self, tmp_path):
+        from repro.runtime.faults import SimulatedCrash  # noqa: F401
+
+        samples = make_samples(2)
+        ckpt, _ = save_checkpoint(tmp_path, version=5, bias=2)
+        plan = FaultPlan(kill_replica_on_request={0: 1})
+        cfg = FleetConfig(replicas=1, max_queue=16, default_deadline=20.0,
+                          heartbeat_timeout=3.0)
+        with FleetRouter(latency_spec(fault_plan=plan), cfg) as router:
+            assert router.wait_healthy(60.0)
+            report = router.reload_weights(ckpt, timeout=60.0)
+            assert len(report.replicas) == 1
+            # first request kills generation 0; the respawn must come
+            # back at the *reloaded* weights, not the built-in defaults
+            box = router.ground(samples[0].image, samples[0].query,
+                                timeout=120.0)
+            assert box[2] == 5.0 and box[3] == 2.0
+        assert router.stats().respawns >= 1
+
+
+@pytest.mark.dist
+class TestSoakHarness:
+    @pytest.mark.slow
+    def test_soak_with_crash_and_reload_loses_nothing(self, tmp_path):
+        samples = make_samples(6)
+        ckpt, _ = save_checkpoint(tmp_path, version=2, bias=4)
+        plan = FaultPlan(kill_replica_on_request={1: 4})
+        cfg = FleetConfig(replicas=3, max_queue=128, default_deadline=20.0,
+                          heartbeat_timeout=3.0)
+        trace = timed_trace(samples, 60, rate_qps=150.0,
+                            rng=spawn_rng("soak-test"))
+        with FleetRouter(latency_spec(fault_plan=plan), cfg) as router:
+            assert router.wait_healthy(60.0)
+            report = run_soak(router, trace, reload_at=30,
+                              reload_checkpoint=ckpt, settle_timeout=120.0)
+            assert router.wait_healthy(60.0), report.render()
+            stats = router.stats()
+        assert report.lost == 0, report.render()
+        assert report.submitted == 60
+        assert report.resolved == 60
+        assert report.reload_error is None, report.render()
+        assert stats.respawns >= 1, report.render()
+        assert stats.alive == 3, report.render()
+        violations = report.check(expected_replicas=None, slo_p99=None)
+        assert violations == [], violations
+
+    def test_report_check_flags_violations(self):
+        from repro.serve import FleetStats, SoakReport
+
+        stats = FleetStats(
+            submitted=10, completed=8, shed=0, retries=0,
+            deadline_exceeded=0, failed=0, respawns=0, reloads=0,
+            stale_responses=0, latency_p50=0.01, latency_p95=0.02,
+            latency_p99=0.5, reload_seconds_total=0.0,
+            replicas=({"index": 0, "state": "up", "generation": 0,
+                       "depth": 0, "in_flight": 0, "served": 8},),
+        )
+        report = SoakReport(submitted=10, ok=8, shed=0, deadline=0,
+                            failed=0, lost=2, wall_seconds=1.0, stats=stats)
+        violations = report.check(slo_p99=0.1, expected_replicas=3)
+        assert any("lost" in v for v in violations)
+        assert any("p99" in v for v in violations)
+        assert any("replicas" in v for v in violations)
+        assert "LOST" in report.render()
+
+
+@pytest.mark.dist
+class TestFleetStopSemantics:
+    def test_stop_resolves_every_outstanding_future(self):
+        samples = make_samples(2)
+        cfg = FleetConfig(replicas=1, max_queue=64, max_replica_inflight=2,
+                          default_deadline=60.0, stop_timeout=0.2)
+        router = FleetRouter(latency_spec(latency=0.2, max_batch=1),
+                             cfg).start()
+        assert router.wait_healthy(60.0)
+        futures = [router.submit(samples[i % 2].image, f"slow {i}")
+                   for i in range(12)]
+        time.sleep(0.05)
+        router.stop()  # 0.2s grace cannot drain 12 x 0.2s requests
+        unresolved = [f for f in futures if not f.done()]
+        assert unresolved == [], f"{len(unresolved)} futures left hanging"
+        kinds = set()
+        for future in futures:
+            exc = future.exception(timeout=1.0)
+            kinds.add(type(exc).__name__ if exc else "ok")
+        assert kinds <= {"ok", "FleetStopped"}, kinds
+        assert "FleetStopped" in kinds, "grace window drained everything"

@@ -220,6 +220,78 @@ class TestRetry:
         assert ok and value == 42
 
 
+class TestBackoffDelay:
+    """Edge cases of the shared jittered-exponential-backoff schedule."""
+
+    def test_jitter_stays_within_documented_bounds(self):
+        from repro.runtime import backoff_delay
+
+        rng = np.random.default_rng(7)
+        for attempt in range(1, 8):
+            deterministic = min(2.0, 0.05 * 2.0 ** (attempt - 1))
+            for _ in range(50):
+                delay = backoff_delay(attempt, base_delay=0.05,
+                                      max_delay=2.0, jitter=0.5, rng=rng)
+                assert deterministic <= delay <= deterministic * 1.5
+
+    def test_zero_jitter_is_exactly_exponential(self):
+        from repro.runtime import backoff_delay
+
+        rng = np.random.default_rng(0)
+        delays = [backoff_delay(k, base_delay=0.1, max_delay=100.0,
+                                jitter=0.0, rng=rng)
+                  for k in range(1, 5)]
+        assert delays == [pytest.approx(0.1 * 2.0 ** k) for k in range(4)]
+
+    def test_max_delay_clamps_the_exponential(self):
+        from repro.runtime import backoff_delay
+
+        rng = np.random.default_rng(3)
+        # attempt 40 would be base * 2**39 without the cap
+        delay = backoff_delay(40, base_delay=0.05, max_delay=1.0,
+                              jitter=0.5, rng=rng)
+        assert 1.0 <= delay <= 1.5
+
+    def test_attempt_is_one_based(self):
+        from repro.runtime import backoff_delay
+
+        with pytest.raises(ValueError):
+            backoff_delay(0)
+        with pytest.raises(ValueError):
+            backoff_delay(-1)
+
+    def test_retry_call_sleeps_follow_backoff_schedule(self):
+        from repro.runtime import backoff_delay
+
+        sleeps = []
+
+        def always_fails():
+            raise OSError("transient")
+
+        with pytest.raises(RetryExhaustedError):
+            retry_call(always_fails, attempts=4, base_delay=0.05,
+                       max_delay=0.12, jitter=0.5, sleep=sleeps.append,
+                       rng=np.random.default_rng(11))
+        replay_rng = np.random.default_rng(11)
+        expected = [backoff_delay(k, base_delay=0.05, max_delay=0.12,
+                                  jitter=0.5, rng=replay_rng)
+                    for k in range(1, 4)]
+        assert sleeps == [pytest.approx(e) for e in expected]
+        # the clamp bit: attempts 2 and 3 both cap at max_delay pre-jitter
+        assert all(0.12 <= s <= 0.18 for s in sleeps[1:])
+
+    def test_non_retryable_exception_does_not_sleep(self):
+        sleeps = []
+
+        def bad():
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_call(bad, attempts=5, retry_on=(OSError,),
+                       sleep=sleeps.append, rng=np.random.default_rng(2))
+        assert sleeps == []
+
+
 # ----------------------------------------------------------------------
 # FaultPlan
 # ----------------------------------------------------------------------

@@ -1,11 +1,16 @@
 """Serving engine: micro-batching, LRU cache, telemetry, traces."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.core import Grounder, YolloConfig, YolloModel
 from repro.data import REFCOCO, build_dataset
 from repro.serve import (
+    EngineDrainTimeout,
+    EngineStopped,
     LRUCache,
     ServeEngine,
     ServerStats,
@@ -202,6 +207,97 @@ class TestServeEngine:
         engine.stop()
         assert engine.ground(make_image(2), "b", timeout=10) is not None
         engine.stop()
+
+
+# ----------------------------------------------------------------------
+# Stop / submit race (shutdown semantics)
+# ----------------------------------------------------------------------
+class _BlockingGrounder:
+    """Grounder that parks inside the forward until released."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, samples):
+        self.entered.set()
+        assert self.release.wait(30.0), "blocking grounder never released"
+        return np.zeros((len(samples), 4))
+
+
+class TestStopSemantics:
+    def test_drain_timeout_keeps_thread_and_reports(self):
+        blocker = _BlockingGrounder()
+        engine = ServeEngine(blocker, max_batch=1, cache_size=0)
+        future = engine.submit(make_image(1), "q")
+        assert blocker.entered.wait(10.0)
+        with pytest.raises(EngineDrainTimeout):
+            engine.stop(timeout=0.05)
+        # the worker is still referenced and still truthfully running
+        assert engine.running
+        blocker.release.set()
+        engine.stop(timeout=10.0)  # second stop finishes the shutdown
+        assert not engine.running
+        assert future.result(timeout=5.0) is not None
+
+    def test_submit_during_stop_raises_engine_stopped(self):
+        blocker = _BlockingGrounder()
+        engine = ServeEngine(blocker, max_batch=1, cache_size=0)
+        engine.submit(make_image(1), "q")
+        assert blocker.entered.wait(10.0)
+
+        errors = []
+
+        def stopper():
+            try:
+                engine.stop(timeout=10.0)
+            except EngineDrainTimeout as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=stopper)
+        thread.start()
+        # wait until stop() has actually entered its draining phase
+        deadline = time.perf_counter() + 5.0
+        while not engine._stopping and time.perf_counter() < deadline:
+            time.sleep(0.001)
+        assert engine._stopping, "stop() never reached the draining phase"
+        with pytest.raises(EngineStopped):
+            engine.submit(make_image(2), "rejected")
+        blocker.release.set()
+        thread.join(10.0)
+        assert not thread.is_alive() and errors == []
+        assert not engine.running
+
+    def test_leftover_queued_requests_resolve_with_engine_stopped(self):
+        # White-box: a request stranded behind the shutdown sentinel (the
+        # pre-fix race) must be resolved by stop(), not left hanging.
+        from concurrent.futures import Future
+
+        from repro.serve.engine import _SHUTDOWN, _Pending, _make_sample
+
+        engine = ServeEngine(StubGrounder(), cache_size=0)
+        orphan: Future = Future()
+        engine._queue.put(_SHUTDOWN)
+        engine._queue.put(_Pending(
+            _make_sample(make_image(3), "orphan"), ("k", "orphan"),
+            orphan, 0.0))
+        engine.stop()
+        with pytest.raises(EngineStopped):
+            orphan.result(timeout=5.0)
+
+    def test_stop_never_started_engine_fails_stranded_futures(self):
+        from concurrent.futures import Future
+
+        from repro.serve.engine import _Pending, _make_sample
+
+        engine = ServeEngine(StubGrounder(), cache_size=0)
+        orphan: Future = Future()
+        engine._queue.put(_Pending(
+            _make_sample(make_image(4), "orphan"), ("k", "orphan"),
+            orphan, 0.0))
+        engine.stop()
+        with pytest.raises(EngineStopped):
+            orphan.result(timeout=5.0)
 
 
 # ----------------------------------------------------------------------
