@@ -319,13 +319,21 @@ def cmd_serve_fleet(args) -> int:
     config = FleetConfig(
         replicas=args.replicas, max_queue=args.max_queue,
         default_deadline=args.deadline,
+        router_cache=args.router_cache,
     )
     try:
         with FleetRouter(spec, config) as router:
             if not router.wait_healthy(config.spawn_timeout):
                 raise SystemExit("fleet failed to become healthy")
+            # In simulated mode the reloaded weights are observable in
+            # every response (version lands in box[2]), so the soak can
+            # verify no post-reload response came from stale weights.
+            post_check = None
+            if args.simulated and reload_checkpoint is not None:
+                post_check = lambda box: box[2] == 2.0  # noqa: E731
             report = run_soak(router, trace, reload_at=reload_at,
-                              reload_checkpoint=reload_checkpoint)
+                              reload_checkpoint=reload_checkpoint,
+                              post_reload_check=post_check)
             # let a just-respawned replica finish coming up, then
             # re-snapshot so the health check sees the restored fleet
             router.wait_healthy(30.0)
@@ -524,7 +532,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--max-queue", type=int, default=128,
                        help="admission queue bound (full queue sheds)")
     fleet.add_argument("--max-batch", type=int, default=8)
-    fleet.add_argument("--cache-size", type=int, default=256)
+    fleet.add_argument("--cache-size", type=int, default=256,
+                       help="per-replica LRU entries (0 disables)")
+    fleet.add_argument("--router-cache", type=int, default=256,
+                       help="router-tier shared response cache entries "
+                            "(0 disables); repeats are answered before "
+                            "admission and survive replica respawns, and "
+                            "a rolling reload bumps the cache's weights "
+                            "epoch so stale boxes are never served")
     fleet.add_argument("--simulated", action="store_true",
                        help="serve a fixed-latency simulated model instead "
                             "of a real YOLLO grounder")

@@ -11,9 +11,13 @@ and the batch-size histogram.
 least-loaded router with bounded-queue backpressure (typed
 ``Overloaded`` shedding), per-request deadlines with one cross-replica
 retry, crash detection + respawn, and rolling hot weight reloads
-verified by a checksum handshake.  ``run_soak`` replays a timed trace
-against the fleet — with deterministic fault injection — and asserts
-the no-lost-requests / p99 SLO invariants.
+verified by a checksum handshake.  A router-tier
+``SharedResponseCache`` answers repeats before admission, tagged with a
+weights epoch that a completed reload bumps — stale boxes are
+unreachable the instant new weights are live, and hits survive replica
+respawns.  ``run_soak`` replays a timed trace against the fleet — with
+deterministic fault injection — and asserts the no-lost-requests /
+no-stale-responses / p99 SLO invariants.
 """
 
 from repro.serve.cache import LRUCache, image_digest
@@ -42,6 +46,7 @@ from repro.serve.replica import (
     load_checkpoint_payload,
     state_checksum,
 )
+from repro.serve.shared_cache import SharedCacheStats, SharedResponseCache
 from repro.serve.soak import SoakReport, run_soak
 from repro.serve.stats import ServerStats, StatsRecorder
 from repro.serve.trace import (
@@ -53,6 +58,8 @@ from repro.serve.trace import (
 
 __all__ = [
     "LRUCache",
+    "SharedResponseCache",
+    "SharedCacheStats",
     "image_digest",
     "ServeEngine",
     "EngineStopped",

@@ -127,7 +127,11 @@ class ServeEngine:
         self._queue: "queue.Queue" = queue.Queue()
         self._cache = LRUCache(cache_size)
         self._cache_lock = threading.Lock()
-        self._recorder = StatsRecorder(registry=metrics)
+        # Bumped by ``clear_cache``: a batch that was already in flight
+        # when the cache was cleared must not insert its (potentially
+        # stale) boxes afterwards.
+        self._cache_version = 0
+        self._recorder = StatsRecorder(registry=metrics, cache=self._cache)
         self._thread: threading.Thread = None
         # Guards the submit/stop race: enqueueing a request and pushing
         # the shutdown sentinel are serialised, so a request either lands
@@ -229,7 +233,9 @@ class ServeEngine:
         self._recorder.record_request()
         key = (image_digest(image), str(query))
         with self._cache_lock:
-            cached = self._cache.get(key)
+            # Uncounted probe: the request's final outcome (hit, miss,
+            # or dedup hit) is credited once, at completion time.
+            cached = self._cache.get(key, count=False)
         future: Future = Future()
         if cached is not None:
             self._recorder.record_completion(time.perf_counter() - now, hit=True)
@@ -270,6 +276,20 @@ class ServeEngine:
 
     def reset_stats(self) -> None:
         self._recorder.reset()
+
+    def clear_cache(self) -> None:
+        """Drop every cached response; safe against in-flight batches.
+
+        Used by the serving replica when new weights are hot-loaded:
+        boxes computed by the old weights must not survive the swap.
+        The internal cache version is bumped so a batch that was already
+        running its forward pass when the clear happened cannot insert
+        its (old-weights) results afterwards — its waiters still get
+        their boxes, but nothing enters the cache.
+        """
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_version += 1
 
     # ------------------------------------------------------------------
     # Worker
@@ -315,13 +335,15 @@ class ServeEngine:
 
     def _run_batch(self, batch: List[_Pending]) -> None:
         depth = self._queue.qsize()
+        with self._cache_lock:
+            cache_version = self._cache_version
         # Re-check the cache at execution time (a request queued during a
         # burst may have been answered by an earlier batch by now) and
         # collapse identical in-flight requests onto one forward slot.
         groups: "dict[Tuple[str, str], List[_Pending]]" = {}
         for pending in batch:
             with self._cache_lock:
-                cached = self._cache.get(pending.key)
+                cached = self._cache.get(pending.key, count=False)
             if cached is not None:
                 self._resolve(pending, cached, hit=True)
                 continue
@@ -342,10 +364,14 @@ class ServeEngine:
             self._drain_compile_events()
         self._recorder.record_batch(len(samples), depth)
         with self._cache_lock:
-            for key, box in zip(groups, boxes):
-                stored = np.array(box, copy=True)
-                stored.setflags(write=False)
-                self._cache.put(key, stored)
+            # A clear_cache() since this batch started (hot weight
+            # reload) means these boxes came from retired weights: serve
+            # the waiters, but keep the results out of the cache.
+            if self._cache_version == cache_version:
+                for key, box in zip(groups, boxes):
+                    stored = np.array(box, copy=True)
+                    stored.setflags(write=False)
+                    self._cache.put(key, stored)
         for group, box in zip(groups.values(), boxes):
             # The first requester paid for the forward pass; in-flight
             # duplicates were deduplicated, which counts as cache service.

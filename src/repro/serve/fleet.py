@@ -26,6 +26,14 @@ micro-batching :class:`~repro.serve.ServeEngine`, see
   :mod:`repro.runtime` checkpoint, and verifies the replica's post-load
   weight checksum against the payload the router read itself.  The rest
   of the fleet keeps serving; no in-flight request is dropped.
+* **Router-tier response cache** — a
+  :class:`~repro.serve.shared_cache.SharedResponseCache` keyed on
+  ``(image_digest, query)`` answers repeats before admission (no pipe
+  round-trip, and hits survive replica respawns).  Every entry carries
+  a weights-epoch tag; a completed rolling reload bumps the epoch
+  (instantly unreaching every pre-reload box), a failed roll leaves the
+  old epoch valid, and responses dispatched under an older epoch are
+  refused insertion — stale results can neither be served nor stored.
 
 Every counter and distribution is published as ``serve.fleet.*`` into a
 :class:`~repro.obs.MetricsRegistry`; :meth:`FleetRouter.stats` snapshots
@@ -51,6 +59,8 @@ import numpy as np
 
 from repro.obs import MetricsRegistry
 from repro.runtime.retry import backoff_delay
+from repro.serve.cache import image_digest
+from repro.serve.shared_cache import SharedResponseCache
 from repro.serve.replica import (
     ReplicaSpec,
     _replica_entry,
@@ -96,6 +106,10 @@ class FleetConfig:
     #: holds back (keeps shed decisions at admission, not in a pile-up
     #: behind one replica).
     max_replica_inflight: int = 32
+    #: Router-tier response cache entries (0 disables).  Repeats hit in
+    #: the router without a replica round-trip; a rolling reload bumps
+    #: the cache's weights epoch so stale boxes are never served.
+    router_cache: int = 256
     #: Per-attempt deadline (seconds) used when ``submit`` gives none.
     default_deadline: float = 30.0
     #: Total attempts per request (2 = one retry on a different replica).
@@ -118,6 +132,8 @@ class FleetConfig:
             raise ValueError("max_queue must be at least 1")
         if self.retry_attempts < 1:
             raise ValueError("retry_attempts must be at least 1")
+        if self.router_cache < 0:
+            raise ValueError("router_cache must be non-negative")
 
 
 @dataclass
@@ -147,11 +163,23 @@ class FleetStats:
     latency_p95: float
     latency_p99: float
     reload_seconds_total: float
+    #: Router-tier shared-cache counters (0s when ``router_cache=0``).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    #: Weights epoch the shared cache is serving (bumped per reload).
+    cache_epoch: int = 0
     replicas: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def alive(self) -> int:
         return sum(1 for r in self.replicas if r["state"] == "up")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Router-tier hit fraction (hits answered before admission)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def resolved(self) -> int:
@@ -170,6 +198,9 @@ class FleetStats:
             f"{self.stale_responses} stale responses",
             f"reloads  {self.reloads} "
             f"({self.reload_seconds_total:.3f}s total)",
+            f"cache    hits={self.cache_hits} misses={self.cache_misses} "
+            f"evictions={self.cache_evictions} epoch={self.cache_epoch} "
+            f"hit-rate={self.cache_hit_rate * 100:.1f}%",
         ]
         for info in self.replicas:
             lines.append(
@@ -194,6 +225,12 @@ class _FleetRequest:
     deadline_ts: float = 0.0
     tried: Set[int] = field(default_factory=set)
     done: bool = False
+    #: Shared-cache key (``None`` when the router cache is disabled).
+    key: Optional[Tuple[str, str]] = None
+    #: Weights epoch at submit time — the response is inserted into the
+    #: shared cache under this tag, so a box that races a completed
+    #: weight roll is refused rather than cached as current.
+    epoch: int = 0
 
 
 class _Slot:
@@ -243,6 +280,7 @@ class FleetRouter:
         self._slots: Dict[int, _Slot] = {}
         self._admission: "queue.Queue" = queue.Queue(
             maxsize=self.config.max_queue)
+        self._response_cache = SharedResponseCache(self.config.router_cache)
         self._retry_heap: List[Tuple[float, int, _FleetRequest]] = []
         self._seq = itertools.count()
         self._current_checkpoint: Optional[str] = self.spec.initial_checkpoint
@@ -264,6 +302,10 @@ class FleetRouter:
         self._m_latency = m.histogram("serve.fleet.latency_seconds")
         self._m_reload_s = m.histogram("serve.fleet.reload_seconds")
         self._m_depth = m.histogram("serve.fleet.replica_queue_depth")
+        self._m_cache_hits = m.counter("serve.fleet.cache.hits")
+        self._m_cache_misses = m.counter("serve.fleet.cache.misses")
+        self._m_cache_evictions = m.counter("serve.fleet.cache.evictions")
+        self._m_cache_epoch = m.gauge("serve.fleet.cache.epoch")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -383,7 +425,14 @@ class FleetRouter:
     def submit(self, image: np.ndarray, query: str,
                deadline: Optional[float] = None) -> Future:
         """Enqueue one request; the future resolves to a (4,) box or a
-        typed :class:`FleetError` — it is never left unresolved."""
+        typed :class:`FleetError` — it is never left unresolved.
+
+        Repeats are answered from the router-tier shared cache before
+        admission: no queue slot, no replica round-trip, and the hit
+        survives any replica crash or respawn.  Only current-epoch
+        entries are served, so a completed weight roll instantly stops
+        every pre-reload box from being returned.
+        """
         if not self._started:
             self.start()
         future: Future = Future()
@@ -392,11 +441,28 @@ class FleetRouter:
                 future.set_exception(FleetStopped("fleet is stopped"))
                 return future
         self._m_submitted.inc()
+        enqueued = self._now()
+        key: Optional[Tuple[str, str]] = None
+        epoch = 0
+        if self._response_cache.capacity:
+            key = (image_digest(image), str(query))
+            cached = self._response_cache.get(key)
+            if cached is not None:
+                self._m_cache_hits.inc()
+                self._m_completed.inc()
+                self._m_latency.observe(self._now() - enqueued)
+                # Defensive copy: the stored box is shared by every
+                # later hit and must not be mutable through a response.
+                future.set_result(np.array(cached, copy=True))
+                return future
+            self._m_cache_misses.inc()
+            epoch = self._response_cache.epoch
         req = _FleetRequest(
             req_id=next(self._seq), image=image, query=str(query),
             deadline=float(deadline if deadline is not None
                            else self.config.default_deadline),
-            future=future, enqueued=self._now(),
+            future=future, enqueued=enqueued,
+            key=key, epoch=epoch,
         )
         try:
             self._admission.put_nowait(req)
@@ -417,6 +483,11 @@ class FleetRouter:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def response_cache(self) -> SharedResponseCache:
+        """The router-tier shared cache (capacity 0 when disabled)."""
+        return self._response_cache
+
     def alive_replicas(self) -> int:
         with self._lock:
             return sum(1 for slot in self._slots.values()
@@ -434,6 +505,15 @@ class FleetRouter:
     def stats(self) -> FleetStats:
         with self._lock:
             infos = tuple(self._slots[i].info() for i in sorted(self._slots))
+        cache = self._response_cache.stats()
+        # The shared cache is the counting authority; catch the registry
+        # counters/gauge up to it (hit/miss are also incremented live on
+        # the submit path — the deltas heal any divergence).
+        self._m_cache_hits.inc(cache.hits - self._m_cache_hits.value)
+        self._m_cache_misses.inc(cache.misses - self._m_cache_misses.value)
+        self._m_cache_evictions.inc(
+            cache.evictions - self._m_cache_evictions.value)
+        self._m_cache_epoch.set(cache.epoch)
         latencies = self._m_latency.values()
         p50, p95, p99 = (
             self.metrics.histogram("serve.fleet.latency_seconds")
@@ -453,6 +533,10 @@ class FleetRouter:
             latency_p50=float(p50), latency_p95=float(p95),
             latency_p99=float(p99),
             reload_seconds_total=float(sum(self._m_reload_s.values())),
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_evictions=cache.evictions,
+            cache_epoch=cache.epoch,
             replicas=infos,
         )
 
@@ -518,6 +602,13 @@ class FleetRouter:
                 "checksum": checksum, "seconds": seconds,
             })
             self.logger.log(f"replica {index} reloaded in {seconds:.3f}s")
+        # Whole roll succeeded (each reloaded replica flushed its private
+        # LRU before acking): advance the shared cache's weights epoch in
+        # one atomic step.  Every pre-reload entry is unreachable from
+        # this instant; a raise anywhere above skips the bump, leaving
+        # the old epoch — still being served by the fleet — valid.
+        epoch = self._response_cache.bump_epoch()
+        self._m_cache_epoch.set(epoch)
         self._m_reloads.inc()
         report.wall_seconds = self._now() - started
         return report
@@ -635,7 +726,9 @@ class FleetRouter:
         else:
             self._m_completed.inc()
             self._m_latency.observe(self._now() - req.enqueued)
-            req.future.set_result(np.asarray(result))
+            # Defensive copy: the caller owns its box outright — mutating
+            # it must never reach the shared cache or another waiter.
+            req.future.set_result(np.array(result, copy=True))
 
     def _handle_failure(self, req: _FleetRequest, error: FleetError) -> None:
         """Retry on a different replica, or resolve with the typed error."""
@@ -676,6 +769,13 @@ class FleetRouter:
                 else:
                     with self._lock:
                         slot.served += 1
+                    if req.key is not None:
+                        # Tagged with the submit-time epoch: if a weight
+                        # roll completed while this response was in
+                        # flight, the insert is refused — a pre-reload
+                        # box never enters the post-reload cache.
+                        self._response_cache.put(req.key, box,
+                                                 epoch=req.epoch)
                     self._finish(req, result=box)
             elif kind == "error":
                 _, req_id, detail = message

@@ -10,7 +10,9 @@ replica builds its grounder, wraps it in the ordinary micro-batching
   future's completion callback ships ``("response", req_id, box)`` (or
   ``("error", req_id, detail)``) back to the router.
 * ``("reload", path)`` — loads a :mod:`repro.runtime` checkpoint into
-  the grounder's weights and answers ``("reloaded", checksum,
+  the grounder's weights, flushes the engine's response cache (a box
+  computed by the old weights must not outlive them), and answers
+  ``("reloaded", checksum,
   seconds)``, where ``checksum`` is :func:`state_checksum` over the
   replica's *re-extracted* post-load state — the router compares it to
   the checksum of the checkpoint payload it read itself, so a torn or
@@ -264,6 +266,12 @@ def _replica_entry(spec: ReplicaSpec, replica_id: int, generation: int,
                 try:
                     payload = load_checkpoint_payload(path)
                     state = apply_weights(grounder, payload)
+                    # Boxes computed by the old weights must not outlive
+                    # them: flush the engine's LRU (and invalidate any
+                    # in-flight batch's pending inserts) before acking,
+                    # so the router never re-admits traffic to a replica
+                    # that could still answer from pre-reload results.
+                    engine.clear_cache()
                     checksum = state_checksum(state)
                     send(("reloaded", checksum,
                           time.perf_counter() - started))

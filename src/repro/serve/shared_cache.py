@@ -1,0 +1,188 @@
+"""Router-tier shared response cache with weights-epoch invalidation.
+
+The fleet's replicas each carry a private per-process
+:class:`~repro.serve.cache.LRUCache`, which means a repeat query still
+pays a pipe round-trip to *some* replica, and a replica crash throws
+its warm entries away.  :class:`SharedResponseCache` sits in the router
+(one process, all traffic), keyed on ``(image_digest, query)`` exactly
+like the replica caches, so repeats are answered before admission and
+hits survive replica respawns.
+
+**Invalidation is epoch-based.**  Every entry is tagged with the
+*weights epoch* it was computed under.  A rolling
+:meth:`~repro.serve.fleet.FleetRouter.reload_weights` bumps the epoch
+atomically once the whole roll has completed; from that instant every
+old-epoch entry is unreachable (``get`` treats it as a miss and prunes
+it), while a failed or aborted roll never bumps, so the old epoch — and
+every entry in it — stays valid.  The tag also guards the write side:
+a response that was *dispatched* under epoch N but lands after the bump
+to N+1 is rejected by :meth:`put` (counted in :attr:`stale_puts`), so a
+box computed by pre-reload weights can never be inserted into the
+post-reload cache no matter how the roll and the response race.
+
+Stored boxes are defensive read-only copies and :meth:`get` hands the
+stored (read-only) array back — callers that give the box to user code
+must copy (the router does), so a caller mutating a response can never
+corrupt later hits.
+
+The cache is thread-safe; the router's ``submit`` path (caller threads)
+and per-replica receive threads hit it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SharedCacheStats:
+    """One snapshot of the shared cache's counters."""
+
+    capacity: int
+    size: int
+    epoch: int
+    hits: int
+    misses: int
+    evictions: int
+    #: Old-epoch entries pruned on lookup after an epoch bump.
+    stale_drops: int
+    #: Writes rejected because the response was computed under an
+    #: earlier epoch than the cache is currently serving.
+    stale_puts: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "epoch": self.epoch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stale_drops": self.stale_drops,
+            "stale_puts": self.stale_puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SharedResponseCache:
+    """Epoch-tagged LRU of ``(image_digest, query) -> (4,) box``.
+
+    ``capacity == 0`` disables the cache: ``get`` always misses (without
+    counting) and ``put`` is a no-op, so a router configured with
+    ``router_cache=0`` behaves exactly like the pre-cache fleet.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: key -> (epoch, read-only box)
+        self._entries: "OrderedDict[Hashable, Tuple[int, np.ndarray]]" = \
+            OrderedDict()
+        self._epoch = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._stale_drops = 0
+        self._stale_puts = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def epoch(self) -> int:
+        """The weights epoch entries must match to be served."""
+        with self._lock:
+            return self._epoch
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Current-epoch entry for ``key`` (read-only) or ``None``.
+
+        An entry tagged with an older epoch is stale by definition — it
+        was computed by weights the fleet no longer serves — so it is
+        pruned and the lookup counts as a miss.
+        """
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            epoch, box = entry
+            if epoch != self._epoch:
+                del self._entries[key]
+                self._stale_drops += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return box
+
+    def put(self, key: Hashable, box: np.ndarray,
+            epoch: Optional[int] = None) -> bool:
+        """Insert a response computed under ``epoch`` (default: current).
+
+        Returns ``False`` without storing when ``epoch`` predates the
+        cache's current epoch — the response raced a completed weight
+        roll and its box belongs to weights no longer being served.
+        """
+        if self.capacity == 0:
+            return False
+        with self._lock:
+            if epoch is None:
+                epoch = self._epoch
+            if epoch != self._epoch:
+                self._stale_puts += 1
+                return False
+            stored = np.array(box, copy=True)
+            stored.setflags(write=False)
+            self._entries[key] = (epoch, stored)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return True
+
+    def bump_epoch(self) -> int:
+        """Advance the weights epoch, invalidating every current entry.
+
+        The bump is atomic: the instant it returns, no pre-bump entry
+        can be served (``get`` prunes them lazily) and no pre-bump
+        response can be inserted (``put`` rejects old-epoch writes).
+        Called by the router only after a rolling reload completed on
+        every replica — a failed roll leaves the old epoch valid.
+        """
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
+
+    def clear(self) -> None:
+        """Drop every entry (epoch and tallies are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> SharedCacheStats:
+        with self._lock:
+            return SharedCacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                epoch=self._epoch,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                stale_drops=self._stale_drops,
+                stale_puts=self._stale_puts,
+            )

@@ -10,9 +10,18 @@ mid-run, and then classifies **every** submitted future:
 ``lost`` (a future that never resolved — the invariant violation the
 whole fleet design exists to prevent).
 
+Because traces carry a repeat fraction, the soak also exercises the
+cache tier end to end: the router-tier hit counters land in the
+report's :class:`~repro.serve.fleet.FleetStats`, and an optional
+``post_reload_check`` verifies the *content* of every successful
+response submitted after a mid-run rolling reload completed — a box
+computed by pre-reload weights (served from an unflushed replica LRU or
+a stale cache entry) is counted in ``stale_served``.
+
 :meth:`SoakReport.check` turns the classification into a pass/fail
-verdict: zero lost requests, a p99 latency SLO, and the full replica
-count restored after any injected crash.
+verdict: zero lost requests, zero stale responses, a p99 latency SLO,
+the full replica count restored after any injected crash, and
+(optionally) a minimum router-tier cache hit rate.
 """
 
 from __future__ import annotations
@@ -21,7 +30,9 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.serve.fleet import (
     DeadlineExceeded,
@@ -49,6 +60,11 @@ class SoakReport:
     reload_report: Optional[Any] = None
     reload_error: Optional[str] = None
     failures: Tuple[str, ...] = ()
+    #: Successful responses (submitted after a mid-run reload completed)
+    #: whose content failed ``post_reload_check`` — boxes computed from
+    #: pre-reload weights.  Must be zero: the epoch-invalidation
+    #: protocol exists to make these impossible.
+    stale_served: int = 0
 
     @property
     def resolved(self) -> int:
@@ -56,12 +72,17 @@ class SoakReport:
 
     def check(self, slo_p99: Optional[float] = None,
               expected_replicas: Optional[int] = None,
-              max_shed_fraction: Optional[float] = None) -> List[str]:
+              max_shed_fraction: Optional[float] = None,
+              min_cache_hit_rate: Optional[float] = None) -> List[str]:
         """Return the list of violated invariants (empty == pass)."""
         violations: List[str] = []
         if self.lost:
             violations.append(
                 f"{self.lost} request(s) lost (unresolved futures)")
+        if self.stale_served:
+            violations.append(
+                f"{self.stale_served} response(s) served from pre-reload "
+                f"weights after the reload completed")
         if self.resolved != self.submitted:
             violations.append(
                 f"classification mismatch: {self.resolved} resolved vs "
@@ -81,6 +102,14 @@ class SoakReport:
                 violations.append(
                     f"shed fraction {fraction:.2%} exceeds "
                     f"{max_shed_fraction:.2%}")
+        if min_cache_hit_rate is not None \
+                and self.stats.cache_hit_rate < min_cache_hit_rate:
+            violations.append(
+                f"router-tier cache hit rate "
+                f"{self.stats.cache_hit_rate:.2%} below "
+                f"{min_cache_hit_rate:.2%} "
+                f"({self.stats.cache_hits} hits / "
+                f"{self.stats.cache_misses} misses)")
         if self.reload_error is not None:
             violations.append(f"rolling reload failed: {self.reload_error}")
         return violations
@@ -98,6 +127,9 @@ class SoakReport:
                 f"mid-soak")
         if self.reload_error is not None:
             lines.append(f"reload   FAILED: {self.reload_error}")
+        if self.stale_served:
+            lines.append(f"stale    {self.stale_served} response(s) from "
+                         f"pre-reload weights — STALE")
         lines.append(self.stats.render())
         return "\n".join(lines)
 
@@ -137,6 +169,7 @@ def run_soak(
     reload_at: Optional[int] = None,
     reload_checkpoint: Optional[str] = None,
     settle_timeout: float = 60.0,
+    post_reload_check: Optional[Callable[[np.ndarray], bool]] = None,
 ) -> SoakReport:
     """Replay ``trace`` against ``router`` and classify every outcome.
 
@@ -147,6 +180,14 @@ def run_soak(
     requests have been submitted.  After the last submission, futures
     are awaited up to ``settle_timeout``; anything still unresolved is
     counted as **lost**.
+
+    ``post_reload_check`` receives the (4,) box of every *successful*
+    response whose request was submitted after the rolling reload had
+    completed, and returns ``True`` if the box was computed by the new
+    weights (e.g. it carries the reloaded checkpoint's version
+    fingerprint).  Responses failing the check are counted in
+    :attr:`SoakReport.stale_served` — the checksum-verified "zero
+    responses from pre-reload weights" invariant.
     """
     if (reload_at is None) != (reload_checkpoint is None):
         raise ValueError(
@@ -155,6 +196,10 @@ def run_soak(
     reload_task = (_ReloadTask(router, reload_checkpoint)
                    if reload_checkpoint is not None else None)
     futures: List[Future] = []
+    #: Whether the rolling reload had already *completed* when the
+    #: request was submitted — only those responses are required to
+    #: carry the new weights (earlier ones legitimately race the roll).
+    after_reload: List[bool] = []
     started = time.monotonic()
     for index, request in enumerate(trace):
         if reload_task is not None and index == reload_at:
@@ -162,20 +207,27 @@ def run_soak(
         lag = started + request.arrival - time.monotonic()
         if lag > 0:
             time.sleep(lag)
+        after_reload.append(
+            reload_task is not None and reload_task.report is not None)
         futures.append(
             router.submit(request.image, request.query, deadline=deadline))
     if reload_task is not None and reload_task.thread is None:
         reload_task.fire()  # reload_at beyond the trace: fire at the end
 
     counts: Dict[str, int] = {"ok": 0, "shed": 0, "deadline": 0,
-                              "failed": 0, "lost": 0}
+                              "failed": 0, "lost": 0, "stale": 0}
     failures: List[str] = []
     settle_deadline = time.monotonic() + settle_timeout
-    for future in futures:
+    for future, post_reload in zip(futures, after_reload):
         remaining = max(0.01, settle_deadline - time.monotonic())
         try:
-            future.result(timeout=remaining)
+            box = future.result(timeout=remaining)
             counts["ok"] += 1
+            if post_reload and post_reload_check is not None \
+                    and not post_reload_check(box):
+                counts["stale"] += 1
+                failures.append(
+                    f"stale response after reload: {box.tolist()}")
         except Overloaded:
             counts["shed"] += 1
         except DeadlineExceeded:
@@ -200,4 +252,5 @@ def run_soak(
         reload_report=reload_task.report if reload_task else None,
         reload_error=reload_task.error if reload_task else None,
         failures=tuple(failures[:10]),
+        stale_served=counts["stale"],
     )

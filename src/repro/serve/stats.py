@@ -48,9 +48,17 @@ class ServerStats:
     #: Total milliseconds spent compiling plans, attributed separately
     #: from request latency so warm-up cost is visible, not averaged in.
     compile_ms_total: float = 0.0
+    #: LRU evictions, read straight off the engine's cache.
+    cache_evictions: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
+        """Hit fraction over the cache-sourced hit/miss tallies.
+
+        ``cache_hits``/``cache_misses`` are read from the
+        :class:`~repro.serve.cache.LRUCache` itself (the single counting
+        authority), so this rate cannot drift from the cache's own view.
+        """
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
@@ -73,6 +81,7 @@ class ServerStats:
             "latency_p95": self.latency_p95,
             "latency_p99": self.latency_p99,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_evictions": self.cache_evictions,
             "mean_batch_size": self.mean_batch_size,
             "queue_depth_max": self.queue_depth_max,
             "queue_depth_mean": self.queue_depth_mean,
@@ -114,10 +123,20 @@ class StatsRecorder:
     :class:`~repro.obs.MetricsRegistry` — the recorder owns a private
     registry unless one is injected, in which case the engine's numbers
     appear alongside whatever else that registry tracks.
+
+    When a ``cache`` (:class:`~repro.serve.cache.LRUCache`) is attached,
+    the cache is the counting authority for hits and misses:
+    :meth:`record_completion` credits the cache's tallies (keeping the
+    ``serve.cache_hits``/``serve.cache_misses`` registry counters in
+    lockstep for external observers) and :meth:`snapshot` reads the
+    cache's numbers back, so the engine's hit-rate can never drift from
+    the cache's own view.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 cache=None):
         self._lock = threading.Lock()
+        self._cache = cache
         self.registry = registry if registry is not None else MetricsRegistry()
         self._requests = self.registry.counter("serve.requests")
         self._completed = self.registry.counter("serve.completed")
@@ -139,6 +158,8 @@ class StatsRecorder:
                 metric.reset()
             self._first_request = 0.0
             self._last_completion = 0.0
+            if self._cache is not None:
+                self._cache.reset_stats()
 
     def record_request(self) -> None:
         now = time.perf_counter()
@@ -152,6 +173,10 @@ class StatsRecorder:
         with self._lock:
             self._completed.inc()
             (self._hits if hit else self._misses).inc()
+            if self._cache is not None:
+                # The cache is the counting authority; the registry
+                # counters above mirror it for external observers.
+                self._cache.count_hit() if hit else self._cache.count_miss()
             self._latencies.observe(latency)
             self._last_completion = now
 
@@ -171,7 +196,12 @@ class StatsRecorder:
             batch_sizes = self._batch_sizes.values()
             depths = self._queue_depths.values()
             requests, completed = self._requests.value, self._completed.value
-            hits, misses = self._hits.value, self._misses.value
+            if self._cache is not None:
+                hits, misses = self._cache.hits, self._cache.misses
+                evictions = self._cache.evictions
+            else:
+                hits, misses = self._hits.value, self._misses.value
+                evictions = 0
             compile_ms = self._compile_ms.values()
             wall = max(0.0, self._last_completion - self._first_request)
         timing = summarize_latencies(latencies)
@@ -195,4 +225,5 @@ class StatsRecorder:
             timing=timing,
             compile_count=len(compile_ms),
             compile_ms_total=float(sum(compile_ms)),
+            cache_evictions=evictions,
         )

@@ -53,6 +53,15 @@ class TestParser:
         assert args.kill_replica is None
         assert args.reload_at is None
         assert args.slo_p99 is None
+        assert args.router_cache == 256
+
+    def test_serve_fleet_router_cache_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve-fleet", "--router-cache", "0"])
+        assert args.router_cache == 0
+        args = build_parser().parse_args(
+            ["serve-fleet", "--router-cache", "1024"])
+        assert args.router_cache == 1024
 
     def test_serve_fleet_fault_flags_parse(self):
         args = build_parser().parse_args([

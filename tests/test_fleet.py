@@ -274,14 +274,151 @@ class TestHotReload:
 
 
 @pytest.mark.dist
+class TestRouterCache:
+    """Router-tier shared cache + reload invalidation, end to end."""
+
+    def test_hit_skips_replica_round_trip_and_is_mutation_safe(self):
+        samples = make_samples(1)
+        cfg = FleetConfig(replicas=2, max_queue=32, default_deadline=20.0,
+                          router_cache=32)
+        with FleetRouter(latency_spec(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            first = router.ground(samples[0].image, samples[0].query)
+            first[:] = -1.0  # clobbering the returned box ...
+            second = router.ground(samples[0].image, samples[0].query)
+            stats = router.stats()
+        assert second[0] == pytest.approx(float(samples[0].image.sum()))
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.cache_hit_rate == pytest.approx(0.5)
+        # the hit never reached a replica
+        assert sum(r["served"] for r in stats.replicas) == 1
+
+    def test_reload_flushes_replica_lru(self, tmp_path):
+        """THE headline regression: replica-private LRUs must be cleared
+        by the reload message, or repeats keep serving old-weight boxes.
+
+        Router cache off so the replica LRU is the only cache in play.
+        """
+        samples = make_samples(1)
+        ckpt, _ = save_checkpoint(tmp_path, version=7, bias=3)
+        cfg = FleetConfig(replicas=1, max_queue=16, default_deadline=20.0,
+                          router_cache=0)
+        with FleetRouter(latency_spec(cache_size=16), cfg) as router:
+            assert router.wait_healthy(60.0)
+            before = router.ground(samples[0].image, samples[0].query)
+            assert before[2] == 0.0 and before[3] == 1.0
+            # warm the replica LRU with the old-weight box
+            router.ground(samples[0].image, samples[0].query)
+            router.reload_weights(ckpt, timeout=60.0)
+            after = router.ground(samples[0].image, samples[0].query)
+        assert after[2] == 7.0 and after[3] == 3.0, (
+            f"stale box served from unflushed replica LRU: {after.tolist()}")
+
+    def test_completed_reload_bumps_epoch_and_invalidates(self, tmp_path):
+        samples = make_samples(1)
+        ckpt, _ = save_checkpoint(tmp_path, version=4, bias=6)
+        cfg = FleetConfig(replicas=1, max_queue=16, default_deadline=20.0,
+                          router_cache=32)
+        with FleetRouter(latency_spec(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            router.ground(samples[0].image, samples[0].query)
+            hit = router.ground(samples[0].image, samples[0].query)
+            assert hit[2] == 0.0  # served from router tier, old weights
+            router.reload_weights(ckpt, timeout=60.0)
+            after = router.ground(samples[0].image, samples[0].query)
+            stats = router.stats()
+        assert after[2] == 4.0 and after[3] == 6.0, (
+            f"stale box served from router cache after reload: "
+            f"{after.tolist()}")
+        assert stats.cache_epoch == 1
+        assert stats.cache_hits == 1 and stats.cache_misses == 2
+
+    def test_failed_reload_keeps_old_epoch_serving(self, tmp_path):
+        from repro.runtime import CheckpointCorruptError, corrupt_file
+
+        samples = make_samples(1)
+        ckpt, _ = save_checkpoint(tmp_path, version=9, bias=9)
+        corrupt_file(ckpt)
+        cfg = FleetConfig(replicas=1, max_queue=16, default_deadline=20.0,
+                          router_cache=32)
+        with FleetRouter(latency_spec(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            warm = router.ground(samples[0].image, samples[0].query)
+            with pytest.raises(CheckpointCorruptError):
+                router.reload_weights(ckpt)
+            # the aborted roll must NOT bump the epoch: the cached box is
+            # still correct for the weights actually serving
+            again = router.ground(samples[0].image, samples[0].query)
+            stats = router.stats()
+        assert again.tolist() == warm.tolist()
+        assert stats.cache_epoch == 0
+        assert stats.cache_hits == 1
+
+    def test_hits_survive_replica_crash_and_respawn(self):
+        samples = make_samples(1)
+        plan = FaultPlan(kill_replica_on_request={0: 1})
+        cfg = FleetConfig(replicas=1, max_queue=16, default_deadline=20.0,
+                          heartbeat_timeout=3.0, router_cache=32)
+        with FleetRouter(latency_spec(fault_plan=plan), cfg) as router:
+            assert router.wait_healthy(60.0)
+            # first request kills generation 0 mid-flight; the retry on
+            # the respawn resolves it and populates the router cache
+            warm = router.ground(samples[0].image, samples[0].query,
+                                 timeout=120.0)
+            hit = router.ground(samples[0].image, samples[0].query)
+            stats = router.stats()
+        assert hit.tolist() == warm.tolist()
+        assert stats.respawns >= 1
+        # the respawned replica has an empty private LRU, but the
+        # router-tier entry outlives it (same weights epoch)
+        assert stats.cache_hits >= 1
+        assert stats.cache_epoch == 0
+
+    def test_soak_repeated_queries_reload_and_crash(self, tmp_path):
+        """The acceptance-criteria soak: repeated-query trace, mid-run
+        rolling reload, injected crash — hit rate > 0, zero stale."""
+        samples = make_samples(3)
+        ckpt, _ = save_checkpoint(tmp_path, version=2, bias=4)
+        # kill replica 0 on its first request: with the router cache
+        # absorbing repeats, few requests reach replicas, and ties route
+        # to index 0 — so the first miss reliably triggers the crash
+        plan = FaultPlan(kill_replica_on_request={0: 1})
+        cfg = FleetConfig(replicas=2, max_queue=128, default_deadline=20.0,
+                          heartbeat_timeout=3.0, router_cache=128)
+        trace = timed_trace(samples, 40, rate_qps=120.0,
+                            repeat_fraction=0.6,
+                            rng=spawn_rng("cache-soak"))
+        with FleetRouter(latency_spec(fault_plan=plan), cfg) as router:
+            assert router.wait_healthy(60.0)
+            report = run_soak(
+                router, trace, reload_at=20, reload_checkpoint=ckpt,
+                settle_timeout=120.0,
+                # boxes computed by the reloaded weights carry version 2
+                post_reload_check=lambda box: box[2] == 2.0,
+            )
+            assert router.wait_healthy(60.0), report.render()
+        assert report.lost == 0, report.render()
+        assert report.stale_served == 0, report.render()
+        assert report.reload_error is None, report.render()
+        assert report.stats.respawns >= 1, report.render()
+        assert report.stats.cache_hits > 0, report.render()
+        violations = report.check(min_cache_hit_rate=0.01)
+        assert violations == [], violations
+        assert "cache" in report.stats.render()
+
+
+@pytest.mark.dist
 class TestSoakHarness:
     @pytest.mark.slow
     def test_soak_with_crash_and_reload_loses_nothing(self, tmp_path):
         samples = make_samples(6)
         ckpt, _ = save_checkpoint(tmp_path, version=2, bias=4)
         plan = FaultPlan(kill_replica_on_request={1: 4})
+        # router cache off: this soak is about crash + reload resilience,
+        # and the injected kill needs replica 1 to actually see its 4th
+        # request (the cache-on soak lives in TestRouterCache)
         cfg = FleetConfig(replicas=3, max_queue=128, default_deadline=20.0,
-                          heartbeat_timeout=3.0)
+                          heartbeat_timeout=3.0, router_cache=0)
         trace = timed_trace(samples, 60, rate_qps=150.0,
                             rng=spawn_rng("soak-test"))
         with FleetRouter(latency_spec(fault_plan=plan), cfg) as router:

@@ -301,6 +301,88 @@ class TestStopSemantics:
 
 
 # ----------------------------------------------------------------------
+# Cache invalidation (weight reloads flush the response cache)
+# ----------------------------------------------------------------------
+class _CountingBlockingGrounder:
+    """Blocking grounder that also counts forwards and returns real boxes."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    def __call__(self, samples):
+        self.calls += 1
+        self.entered.set()
+        assert self.release.wait(30.0), "blocking grounder never released"
+        return np.stack(
+            [np.array([s.image.sum(), len(s.tokens), 1.0, 2.0])
+             for s in samples]
+        )
+
+
+class TestClearCache:
+    def test_clear_cache_forces_recompute(self):
+        stub = StubGrounder()
+        image = make_image(3)
+        with ServeEngine(stub) as engine:
+            engine.ground(image, "q", timeout=10)
+            engine.clear_cache()
+            engine.ground(image, "q", timeout=10)
+            stats = engine.stats()
+        assert sum(stub.batches) == 2  # no hit across the clear
+        assert stats.cache_misses == 2 and stats.cache_hits == 0
+
+    def test_clear_preserves_stats_tallies(self):
+        stub = StubGrounder()
+        image = make_image(6)
+        with ServeEngine(stub) as engine:
+            engine.ground(image, "q", timeout=10)
+            engine.ground(image, "q", timeout=10)  # hit
+            engine.clear_cache()
+            stats = engine.stats()
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+
+    def test_clear_during_in_flight_batch_blocks_reinsert(self):
+        """A forward racing ``clear_cache`` must not repopulate the cache.
+
+        The batch snapshot was computed by the *old* weights; letting it
+        land after the clear would resurrect exactly the staleness the
+        clear exists to remove.  The waiter still gets its box.
+        """
+        blocker = _CountingBlockingGrounder()
+        image = make_image(7)
+        with ServeEngine(blocker, max_wait=0.005) as engine:
+            future = engine.submit(image, "q")
+            assert blocker.entered.wait(10.0)
+            engine.clear_cache()  # fires while the forward is in flight
+            blocker.release.set()
+            box = future.result(timeout=10.0)
+            assert box[0] == pytest.approx(image.sum())
+            # The in-flight result must NOT have been inserted: the same
+            # request goes back to the model.
+            second = engine.ground(image, "q", timeout=10.0)
+            assert second[0] == pytest.approx(image.sum())
+        assert blocker.calls == 2
+
+    def test_stats_and_registry_counters_agree_live(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stub = StubGrounder()
+        image = make_image(8)
+        with ServeEngine(stub, metrics=registry) as engine:
+            engine.ground(image, "q", timeout=10)
+            engine.ground(image, "q", timeout=10)
+            stats = engine.stats()
+        # LRUCache is the counting authority; the registry mirrors it.
+        assert stats.cache_hits == registry.counter("serve.cache_hits").value
+        assert stats.cache_misses \
+            == registry.counter("serve.cache_misses").value
+        assert stats.cache_evictions == 0
+
+
+# ----------------------------------------------------------------------
 # Synthetic traces
 # ----------------------------------------------------------------------
 class TestSyntheticTrace:

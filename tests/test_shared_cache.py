@@ -1,0 +1,161 @@
+"""Router-tier shared response cache: epoch invalidation, LRU, safety.
+
+Pure-logic units (no subprocesses) for
+:class:`repro.serve.shared_cache.SharedResponseCache` and the hit/miss
+accounting that moved into :class:`repro.serve.cache.LRUCache`.  The
+fleet-integration side (replica LRU flush on reload, epoch bump after a
+roll, hits surviving respawns) lives in ``tests/test_fleet.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, SharedResponseCache
+from repro.serve.shared_cache import SharedCacheStats
+
+
+def box(*values):
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestSharedCacheBasics:
+    def test_roundtrip_and_lru_eviction(self):
+        cache = SharedResponseCache(2)
+        cache.put("a", box(1, 1, 1, 1))
+        cache.put("b", box(2, 2, 2, 2))
+        assert cache.get("a")[0] == 1.0  # refreshes recency
+        cache.put("c", box(3, 3, 3, 3))  # evicts b (coldest)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_hit_miss_counters(self):
+        cache = SharedResponseCache(4)
+        assert cache.get("missing") is None
+        cache.put("k", box(0, 0, 0, 0))
+        assert cache.get("k") is not None
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert isinstance(stats, SharedCacheStats)
+        assert stats.as_dict()["hit_rate"] == pytest.approx(0.5)
+
+    def test_capacity_zero_disables(self):
+        cache = SharedResponseCache(0)
+        assert cache.put("k", box(1, 2, 3, 4)) is False
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0 and len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            SharedResponseCache(-1)
+
+
+class TestSharedCacheSafety:
+    def test_stored_box_is_a_readonly_copy(self):
+        cache = SharedResponseCache(4)
+        source = box(1, 2, 3, 4)
+        cache.put("k", source)
+        source[:] = -1.0  # mutating the caller's array after put ...
+        stored = cache.get("k")
+        assert stored[0] == 1.0  # ... cannot reach the cache
+        with pytest.raises(ValueError):
+            stored[0] = 99.0  # the stored array itself is immutable
+
+    def test_concurrent_readers_and_writers(self):
+        cache = SharedResponseCache(16)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    cache.put((tag, i % 8), box(i, i, i, i))
+                    cache.get((tag, (i + 1) % 8))
+                    if i % 50 == 0:
+                        cache.bump_epoch()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 4 * 200
+
+
+class TestEpochInvalidation:
+    def test_bump_makes_every_entry_unreachable(self):
+        cache = SharedResponseCache(8)
+        cache.put("k", box(1, 1, 1, 1))
+        assert cache.get("k") is not None
+        assert cache.bump_epoch() == 1
+        assert cache.get("k") is None  # stale: pruned, counted as miss
+        stats = cache.stats()
+        assert stats.stale_drops == 1
+        assert stats.epoch == 1
+
+    def test_old_epoch_put_is_refused(self):
+        cache = SharedResponseCache(8)
+        epoch_at_dispatch = cache.epoch
+        cache.bump_epoch()  # weight roll completes while in flight
+        assert cache.put("k", box(9, 9, 9, 9),
+                         epoch=epoch_at_dispatch) is False
+        assert cache.get("k") is None
+        assert cache.stats().stale_puts == 1
+
+    def test_current_epoch_put_lands_after_bump(self):
+        cache = SharedResponseCache(8)
+        cache.bump_epoch()
+        assert cache.put("k", box(5, 5, 5, 5), epoch=cache.epoch) is True
+        assert cache.get("k")[0] == 5.0
+
+    def test_clear_keeps_epoch(self):
+        cache = SharedResponseCache(8)
+        cache.bump_epoch()
+        cache.put("k", box(1, 1, 1, 1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.epoch == 1
+
+
+class TestLRUCacheCounting:
+    """Hit/miss accounting moved into the LRU itself (engine satellite)."""
+
+    def test_get_counts_hits_and_misses(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_uncounted_probe(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a", count=False) == 1
+        assert cache.get("b", count=False) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_external_crediting(self):
+        cache = LRUCache(4)
+        cache.count_hit()
+        cache.count_miss()
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_clear_keeps_tallies_reset_stats_zeroes(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a
+        cache.get("b")
+        cache.clear()
+        assert cache.hits == 1 and cache.evictions == 1
+        cache.reset_stats()
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
