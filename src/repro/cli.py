@@ -7,8 +7,10 @@ Usage::
     python -m repro.cli ground --dataset RefCOCO --model model.npz --query "red dog"
     python -m repro.cli serve-bench --dataset RefCOCO --requests 128
     python -m repro.cli serve-fleet --simulated --replicas 3 --kill-replica 0:5 --reload-at 60
+    python -m repro.cli serve-fleet --trace-mix mixed --replicas 2 --reload-at 40
     python -m repro.cli profile --target train-step --out trace.json
     python -m repro.cli tables --preset smoke --only table1 table5
+    python -m repro.cli experiments --scenario crowded --preset smoke
 
 ``python -m repro`` is an alias for ``python -m repro.cli``.
 """
@@ -20,6 +22,28 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _trace_mix_name(value: str) -> str:
+    """Argparse type: a registered trace-mix name (fail listing the registry)."""
+    from repro.scenarios import available_trace_mixes
+
+    available = available_trace_mixes()
+    if value not in available:
+        raise argparse.ArgumentTypeError(
+            f"unknown trace mix {value!r}; available: {', '.join(available)}")
+    return value
+
+
+def _scenario_name(value: str) -> str:
+    """Argparse type: a registered scenario name (fail listing the registry)."""
+    from repro.scenarios import available_scenarios
+
+    available = available_scenarios()
+    if value not in available:
+        raise argparse.ArgumentTypeError(
+            f"unknown scenario {value!r}; available: {', '.join(available)}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -260,7 +284,25 @@ def cmd_serve_fleet(args) -> int:
             kills[int(replica_id)] = int(ordinal or 1)
         fault_plan = FaultPlan(kill_replica_on_request=kills)
 
-    if args.simulated:
+    trace = None
+    if args.trace_mix:
+        # Scenario-mix mode: replay a heterogeneous scenario trace
+        # against oracle replicas serving the registry's ground-truth
+        # ranked answers, so the soak asserts structured-protocol
+        # correctness (per-scenario p99, no false "found" on no-target
+        # queries) independently of model quality.
+        from repro.scenarios import build_oracle_grounder, build_trace_mix
+
+        trace, answers = build_trace_mix(
+            args.trace_mix, num_requests=args.requests, rate_qps=args.rate,
+            repeat_fraction=args.repeat_fraction)
+        spec = ReplicaSpec(
+            builder=build_oracle_grounder,
+            builder_kwargs={"answers": answers, "latency": args.latency},
+            max_batch=args.max_batch, cache_size=args.cache_size,
+            seed=args.seed, fault_plan=fault_plan,
+        )
+    elif args.simulated:
         from repro.data.refcoco import GroundingSample
 
         rng = spawn_rng("serve-fleet-pool")
@@ -304,7 +346,7 @@ def cmd_serve_fleet(args) -> int:
         # are what is being exercised.
         reload_dir = tempfile.TemporaryDirectory(prefix="fleet-reload-")
         manager = CheckpointManager(reload_dir.name)
-        if args.simulated:
+        if args.simulated or args.trace_mix:
             payload = {"version": np.array([2.0]), "bias": np.array([1.0])}
         else:
             probe = spec.builder(**spec.builder_kwargs)
@@ -314,8 +356,9 @@ def cmd_serve_fleet(args) -> int:
         reload_checkpoint = manager.save(payload, 1)
         reload_at = args.reload_at
 
-    trace = timed_trace(pool, args.requests, rate_qps=args.rate,
-                        repeat_fraction=args.repeat_fraction)
+    if trace is None:
+        trace = timed_trace(pool, args.requests, rate_qps=args.rate,
+                            repeat_fraction=args.repeat_fraction)
     config = FleetConfig(
         replicas=args.replicas, max_queue=args.max_queue,
         default_deadline=args.deadline,
@@ -329,8 +372,13 @@ def cmd_serve_fleet(args) -> int:
             # every response (version lands in box[2]), so the soak can
             # verify no post-reload response came from stale weights.
             post_check = None
-            if args.simulated and reload_checkpoint is not None:
-                post_check = lambda box: box[2] == 2.0  # noqa: E731
+            if reload_checkpoint is not None:
+                if args.trace_mix:
+                    # Oracle responses carry the weights version field.
+                    post_check = (
+                        lambda r: getattr(r, "version", None) == 2.0)
+                elif args.simulated:
+                    post_check = lambda box: box[2] == 2.0  # noqa: E731
             report = run_soak(router, trace, reload_at=reload_at,
                               reload_checkpoint=reload_checkpoint,
                               post_reload_check=post_check)
@@ -431,20 +479,32 @@ def cmd_profile(args) -> int:
 
 def cmd_tables(args) -> int:
     from repro.experiments import (
-        ExperimentContext, figure4, figure5, get_preset,
+        ExperimentContext, figure4, figure5, get_preset, scenario_matrix,
         table1, table2, table3, table4, table5,
     )
 
     modules = {
         "table1": table1, "table2": table2, "table3": table3,
         "table4": table4, "table5": table5, "figure4": figure4,
-        "figure5": figure5,
+        "figure5": figure5, "scenarios": scenario_matrix,
     }
     chosen = args.only or list(modules)
     context = ExperimentContext(preset=get_preset(args.preset))
     for name in chosen:
         print(modules[name].run(context))
         print()
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    """Scenario workload reports (the whole matrix, or one scenario)."""
+    from repro.experiments import ExperimentContext, get_preset, scenario_matrix
+
+    context = ExperimentContext(preset=get_preset(args.preset))
+    if args.scenario:
+        print(scenario_matrix.run_scenario(context, args.scenario))
+    else:
+        print(scenario_matrix.run(context))
     return 0
 
 
@@ -543,6 +603,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--simulated", action="store_true",
                        help="serve a fixed-latency simulated model instead "
                             "of a real YOLLO grounder")
+    fleet.add_argument("--trace-mix", type=_trace_mix_name, default=None,
+                       metavar="NAME",
+                       help="replay a registered scenario trace mix "
+                            "(repro.scenarios) against oracle replicas "
+                            "serving ground-truth ranked answers; the soak "
+                            "reports per-scenario p99 and fails on any "
+                            "false \"found\" for a no-target query")
     fleet.add_argument("--latency", type=float, default=0.002,
                        help="simulated per-batch forward latency seconds "
                             "(with --simulated)")
@@ -596,8 +663,19 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--preset", default=None, choices=["smoke", "bench", "full"])
     tables.add_argument("--only", nargs="*", default=None,
                         choices=["table1", "table2", "table3", "table4",
-                                 "table5", "figure4", "figure5"])
+                                 "table5", "figure4", "figure5", "scenarios"])
     tables.set_defaults(func=cmd_tables)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="scenario workload reports (repro.scenarios registry)")
+    experiments.add_argument("--preset", default=None,
+                             choices=["smoke", "bench", "full"])
+    experiments.add_argument("--scenario", type=_scenario_name, default=None,
+                             metavar="NAME",
+                             help="report one registered scenario "
+                                  "(default: the full workload matrix)")
+    experiments.set_defaults(func=cmd_experiments)
     return parser
 
 

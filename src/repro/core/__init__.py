@@ -12,10 +12,17 @@ from repro.core.config import YolloConfig
 from repro.core.encoder import FeatureEncoder
 from repro.core.rel2att import Rel2AttModule, Rel2AttStack
 from repro.core.detector import TargetDetectionNetwork
+from repro.core.response import (
+    GroundingResponse,
+    freeze_response,
+    is_response,
+    responses_equal,
+    thaw_response,
+)
 from repro.core.yollo import GroundingPrediction, YolloModel, YolloOutput
 from repro.core.losses import LossBreakdown, attention_mask_loss, detection_loss, yollo_loss
 from repro.core.trainer import TrainingHistory, YolloTrainer
-from repro.core.predictor import Grounder
+from repro.core.predictor import Grounder, RankedGrounder
 
 __all__ = [
     "YolloConfig",
@@ -26,6 +33,11 @@ __all__ = [
     "YolloModel",
     "YolloOutput",
     "GroundingPrediction",
+    "GroundingResponse",
+    "freeze_response",
+    "thaw_response",
+    "responses_equal",
+    "is_response",
     "attention_mask_loss",
     "detection_loss",
     "yollo_loss",
@@ -33,4 +45,5 @@ __all__ = [
     "YolloTrainer",
     "TrainingHistory",
     "Grounder",
+    "RankedGrounder",
 ]

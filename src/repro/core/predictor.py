@@ -6,6 +6,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.response import GroundingResponse
 from repro.core.yollo import GroundingPrediction, YolloModel
 from repro.data.loader import encode_batch
 from repro.data.refcoco import GroundingSample
@@ -66,8 +67,86 @@ class Grounder:
 
     __call__ = ground_batch
 
+    # ------------------------------------------------------------------
+    # Ranked (structured-response) protocol
+    # ------------------------------------------------------------------
+    def ground_ranked(self, image: np.ndarray, query: str, top_k: int = 5,
+                      not_found_threshold: float = 0.0) -> GroundingResponse:
+        """Ranked answer for one query: boxes + scores + ``not_found``."""
+        ids, mask = self.vocab.encode(query, self.max_query_length)
+        return self.model.predict_ranked(
+            image[None], ids[None], mask[None],
+            top_k=top_k, not_found_threshold=not_found_threshold,
+        )[0]
+
+    def ground_batch_ranked(
+        self, samples: Sequence[GroundingSample], top_k: int = 5,
+        not_found_threshold: float = 0.0,
+    ) -> List[GroundingResponse]:
+        """Batched ranked protocol: samples -> response list."""
+        batch = encode_batch(samples, self.vocab, self.max_query_length)
+        return self.model.predict_ranked(
+            batch["images"], batch["token_ids"], batch["token_mask"],
+            top_k=top_k, not_found_threshold=not_found_threshold,
+        )
+
+    def ranked(self, top_k: int = 5,
+               not_found_threshold: float = 0.0) -> "RankedGrounder":
+        """Adapter that makes the ranked protocol this grounder's
+        ``__call__`` — plug it into ``ServeEngine``/``FleetRouter`` to
+        serve structured responses instead of single boxes."""
+        return RankedGrounder(self, top_k=top_k,
+                              not_found_threshold=not_found_threshold)
+
     def serve(self, **kwargs) -> "ServeEngine":  # noqa: F821 (lazy import)
         """Wrap this grounder in a micro-batching :class:`ServeEngine`."""
+        from repro.serve import ServeEngine
+
+        return ServeEngine(self, **kwargs)
+
+
+class RankedGrounder:
+    """Batch-protocol adapter returning :class:`GroundingResponse` lists.
+
+    Wraps a :class:`Grounder` so that ``__call__`` yields ranked
+    responses — the shape the scenario serving stack caches and ships.
+    Weight-reload plumbing (``.model``) and compiled-inference telemetry
+    (``.plan_cache``) pass through to the wrapped grounder, so a
+    ``RankedGrounder`` drops into a serving replica unchanged.
+    """
+
+    def __init__(self, grounder: Grounder, top_k: int = 5,
+                 not_found_threshold: float = 0.0):
+        self.grounder = grounder
+        self.top_k = int(top_k)
+        self.not_found_threshold = float(not_found_threshold)
+
+    @property
+    def name(self) -> str:
+        return f"{self.grounder.name}-ranked"
+
+    @property
+    def model(self) -> YolloModel:
+        return self.grounder.model
+
+    @property
+    def vocab(self) -> Vocabulary:
+        return self.grounder.vocab
+
+    @property
+    def plan_cache(self):
+        return self.grounder.plan_cache
+
+    def __call__(
+        self, samples: Sequence[GroundingSample]
+    ) -> List[GroundingResponse]:
+        return self.grounder.ground_batch_ranked(
+            samples, top_k=self.top_k,
+            not_found_threshold=self.not_found_threshold,
+        )
+
+    def serve(self, **kwargs) -> "ServeEngine":  # noqa: F821 (lazy import)
+        """Serve ranked responses through a micro-batching engine."""
         from repro.serve import ServeEngine
 
         return ServeEngine(self, **kwargs)

@@ -12,7 +12,8 @@ from repro.core.config import YolloConfig
 from repro.core.detector import TargetDetectionNetwork
 from repro.core.encoder import FeatureEncoder
 from repro.core.rel2att import Rel2AttStack
-from repro.detection import clip_boxes, decode_offsets
+from repro.core.response import GroundingResponse
+from repro.detection import clip_boxes, decode_offsets, nms
 from repro.nn import Module
 from repro.obs import trace_span
 
@@ -163,14 +164,15 @@ class YolloModel(Module):
                 cls_logits, reg_offsets = self.detector(feature_map)
         return YolloOutput(cls_logits, reg_offsets, attention_masks)
 
-    def predict(self, images: np.ndarray, token_ids: np.ndarray,
-                token_mask: Optional[np.ndarray] = None) -> List[GroundingPrediction]:
-        """Run inference and decode the top-1 box per sample.
+    def _predict_arrays(self, images: np.ndarray, token_ids: np.ndarray,
+                        token_mask: Optional[np.ndarray]):
+        """Shared inference pass for :meth:`predict`/:meth:`predict_ranked`.
 
-        Cross-boundary anchors are excluded from the top-1 choice
-        (standard RPN practice): an anchor hanging off the image decodes
-        to a clipped sliver, and its classification score is weakly
-        supervised, so letting it win produces degenerate boxes.
+        Returns ``(probs, offsets, last_mask)`` as plain arrays, with
+        cross-boundary anchors' probabilities forced to -1 (standard RPN
+        practice): an anchor hanging off the image decodes to a clipped
+        sliver, and its classification score is weakly supervised, so
+        letting it win produces degenerate boxes.
         """
         was_training = self.training
         self.eval()
@@ -196,6 +198,18 @@ class YolloModel(Module):
         )
         if inside.any():
             probs = np.where(inside[None, :], probs, -1.0)
+        return probs, offsets, last_mask
+
+    def predict(self, images: np.ndarray, token_ids: np.ndarray,
+                token_mask: Optional[np.ndarray] = None) -> List[GroundingPrediction]:
+        """Run inference and decode the top-1 box per sample.
+
+        Cross-boundary anchors are excluded from the top-1 choice; see
+        :meth:`_predict_arrays`.
+        """
+        probs, offsets, last_mask = self._predict_arrays(
+            images, token_ids, token_mask)
+        anchors = self.anchor_grid.all_anchors()
         grid_h, grid_w = self.encoder.grid_h, self.encoder.grid_w
         predictions: List[GroundingPrediction] = []
         for b in range(probs.shape[0]):
@@ -211,3 +225,44 @@ class YolloModel(Module):
                 )
             )
         return predictions
+
+    def predict_ranked(self, images: np.ndarray, token_ids: np.ndarray,
+                       token_mask: Optional[np.ndarray] = None,
+                       top_k: int = 5,
+                       not_found_threshold: float = 0.0,
+                       nms_iou: float = 0.6) -> List[GroundingResponse]:
+        """Decode a ranked answer list per sample (the scenario protocol).
+
+        Every in-bounds anchor is decoded, greedily NMS-suppressed at
+        ``nms_iou``, and the ``top_k`` survivors are returned best-first
+        with their target probabilities.  ``not_found`` is declared when
+        no survivor clears ``not_found_threshold`` — the calibrated
+        decision crowded-scene no-target queries require (a top-1 argmax
+        box cannot say "absent").  The per-sample work stays vectorised:
+        one decode over all anchors, one NMS over the score-sorted list.
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        probs, offsets, _ = self._predict_arrays(images, token_ids, token_mask)
+        anchors = self.anchor_grid.all_anchors()
+        responses: List[GroundingResponse] = []
+        for b in range(probs.shape[0]):
+            valid = probs[b] >= 0.0  # cross-boundary anchors carry -1
+            if not valid.any():
+                valid = np.ones_like(probs[b], dtype=bool)
+            candidate_boxes = clip_boxes(
+                decode_offsets(anchors[valid], offsets[b, valid]),
+                self.config.image_height, self.config.image_width,
+            )
+            candidate_scores = probs[b, valid]
+            keep = nms(candidate_boxes, candidate_scores,
+                       iou_threshold=nms_iou, max_keep=top_k)
+            scores = candidate_scores[keep]
+            responses.append(GroundingResponse(
+                boxes=candidate_boxes[keep],
+                scores=scores,
+                not_found=bool(len(scores) == 0
+                               or scores[0] < not_found_threshold),
+                threshold=not_found_threshold,
+            ))
+        return responses

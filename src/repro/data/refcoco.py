@@ -208,19 +208,64 @@ def _samples_from_scene(
     return samples
 
 
-def dataset_statistics(dataset: GroundingDataset) -> Dict[str, float]:
-    """Table-1-style statistics for a built dataset."""
+def dataset_statistics(dataset: GroundingDataset) -> Dict[str, object]:
+    """Table-1-style statistics for a built dataset.
+
+    Besides the aggregate counts, reports the query-type mix (scenario
+    datasets emit ``multi`` / ``no_target`` / ``weak_pair`` samples in
+    addition to the classic ``single``; plain datasets are 100%
+    ``single``) and, per split, the expression-length histogram and
+    that split's own query-type mix — nested under ``"splits"``.
+    """
     samples = dataset.all_samples()
     scenes = {id(s.scene): s.scene for s in samples}
     query_lengths = [len(s.tokens) for s in samples]
     same_type_counts = []
     for sample in samples:
+        # Scenario samples without a unique referent (multi/no-target/
+        # weak pairs) have no target object to count distractors for.
+        if sample.scene is None or sample.target_index < 0:
+            continue
         same_type_counts.append(len(sample.scene.same_category(sample.scene.objects[sample.target_index])))
-    return {
+    stats: Dict[str, float] = {
         "images": len(scenes),
         "queries": len(samples),
-        "targets": len({(id(s.scene), s.target_index) for s in samples}),
+        "targets": len({(id(s.scene), s.target_index) for s in samples
+                        if s.target_index >= 0}),
         "avg_query_length": float(np.mean(query_lengths)),
-        "avg_same_type": float(np.mean(same_type_counts)),
+        "avg_same_type": (float(np.mean(same_type_counts))
+                          if same_type_counts else 0.0),
         "vocab_size": len(dataset.vocab),
     }
+    stats["query_type_mix"] = _query_type_mix(samples)
+    stats["splits"] = {
+        split: {
+            "queries": len(split_samples),
+            "query_type_mix": _query_type_mix(split_samples),
+            "query_length_histogram": _length_histogram(split_samples),
+        }
+        for split, split_samples in dataset.splits.items()
+    }
+    return stats
+
+
+def _query_type_mix(samples: Sequence[GroundingSample]) -> Dict[str, float]:
+    """Fraction of each query type (plain samples count as ``single``)."""
+    if not samples:
+        return {}
+    counts: Dict[str, int] = {}
+    for sample in samples:
+        kind = getattr(sample, "query_type", "single")
+        counts[kind] = counts.get(kind, 0) + 1
+    return {kind: count / len(samples)
+            for kind, count in sorted(counts.items())}
+
+
+def _length_histogram(samples: Sequence[GroundingSample]) -> Dict[int, int]:
+    """Token-count histogram: expression length -> number of queries."""
+    if not samples:
+        return {}
+    lengths, counts = np.unique(
+        [len(s.tokens) for s in samples], return_counts=True)
+    return {int(length): int(count)
+            for length, count in zip(lengths, counts)}

@@ -70,6 +70,22 @@ def _glyph_diamond(h: int, w: int) -> np.ndarray:
     return np.abs(xs) + np.abs(ys) <= 1.0
 
 
+def _glyph_truck(h: int, w: int) -> np.ndarray:
+    """Truck: tall box trailer with a shorter cab at the front."""
+    xs, ys = _normalized_grid(h, w)
+    trailer = (xs >= -0.95) & (xs <= 0.45) & (ys >= -0.85) & (ys <= 0.9)
+    cab = (xs > 0.45) & (xs <= 0.95) & (ys >= -0.2) & (ys <= 0.9)
+    return trailer | cab
+
+
+def _glyph_cone(h: int, w: int) -> np.ndarray:
+    """Traffic cone: narrow triangle on a flat base strip."""
+    xs, ys = _normalized_grid(h, w)
+    body = (ys >= -0.9) & (ys <= 0.6) & (np.abs(xs) <= 0.15 + 0.5 * (ys + 0.9) / 1.5)
+    base = (ys > 0.6) & (ys <= 0.9) & (np.abs(xs) <= 0.85)
+    return body | base
+
+
 #: Category name -> glyph mask factory.
 GLYPHS: Dict[str, Callable[[int, int], np.ndarray]] = {
     "person": _glyph_vertical_capsule,
@@ -80,6 +96,9 @@ GLYPHS: Dict[str, Callable[[int, int], np.ndarray]] = {
     "chair": _glyph_cross,
     "plant": _glyph_triangle,
     "lamp": _glyph_diamond,
+    # Driving-scenario categories (repro.scenarios.driving).
+    "truck": _glyph_truck,
+    "cone": _glyph_cone,
 }
 
 

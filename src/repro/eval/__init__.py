@@ -2,10 +2,15 @@
 
 from repro.eval.metrics import (
     MetricReport,
+    NoTargetReport,
     accuracy_at_iou,
     accuracy_sweep,
+    calibrate_not_found_threshold,
     evaluate_grounder,
     mean_iou,
+    no_target_report,
+    pairwise_ious,
+    recall_at_k,
 )
 from repro.eval.timing import (
     EagerCompiledComparison,
@@ -21,8 +26,13 @@ __all__ = [
     "accuracy_at_iou",
     "accuracy_sweep",
     "mean_iou",
+    "pairwise_ious",
     "evaluate_grounder",
     "MetricReport",
+    "recall_at_k",
+    "NoTargetReport",
+    "no_target_report",
+    "calibrate_not_found_threshold",
     "time_grounder",
     "summarize_latencies",
     "TimingReport",

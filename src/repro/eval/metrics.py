@@ -99,3 +99,145 @@ def evaluate_grounder(grounder: GrounderFn, samples: Sequence[GroundingSample],
         miou=mean_iou(ious),
         ious=ious,
     )
+
+
+# ----------------------------------------------------------------------
+# Ranked / structured-answer metrics (scenario workloads)
+# ----------------------------------------------------------------------
+def _cross_ious(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Full ``(n, m)`` IoU grid, reusing the vectorised aligned-pair path.
+
+    Tiling ``a`` against ``b`` and reshaping keeps :func:`pairwise_ious`
+    the single IoU implementation the eval layer depends on.
+    """
+    boxes_a = np.asarray(boxes_a, dtype=np.float64).reshape(-1, 4)
+    boxes_b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
+    n, m = len(boxes_a), len(boxes_b)
+    if n == 0 or m == 0:
+        return np.zeros((n, m))
+    flat = pairwise_ious(np.repeat(boxes_a, m, axis=0),
+                         np.tile(boxes_b, (n, 1)))
+    return flat.reshape(n, m)
+
+
+def recall_at_k(ranked_boxes: Sequence[np.ndarray],
+                target_boxes: Sequence[np.ndarray],
+                k: int, iou_threshold: float = 0.5) -> float:
+    """Fraction of queries whose top-``k`` ranking covers a true box.
+
+    ``ranked_boxes[i]`` is the ``(r, 4)`` prediction ranking for query
+    ``i`` (e.g. :attr:`~repro.core.GroundingResponse.boxes`);
+    ``target_boxes[i]`` is the ``(t, 4)`` set of acceptable referents
+    (one for single-target queries, several for multi-target).  A query
+    counts as recalled when any of its first ``k`` predictions reaches
+    ``iou_threshold`` against any true box.  Queries with no true box
+    (no-target) are skipped — :func:`no_target_report` scores those.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if len(ranked_boxes) != len(target_boxes):
+        raise ValueError("ranked_boxes and target_boxes must align")
+    hits, scored = 0, 0
+    for predicted, targets in zip(ranked_boxes, target_boxes):
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1, 4)
+        if len(targets) == 0:
+            continue
+        scored += 1
+        top = np.asarray(predicted, dtype=np.float64).reshape(-1, 4)[:k]
+        if len(top) and _cross_ious(top, targets).max() >= iou_threshold:
+            hits += 1
+    return hits / scored if scored else 0.0
+
+
+@dataclass(frozen=True)
+class NoTargetReport:
+    """Detection quality of the ``not_found`` decision.
+
+    "Positive" is *predicting not-found*: precision is the fraction of
+    not-found answers that were genuinely no-target queries, recall is
+    the fraction of no-target queries answered not-found.  A false
+    positive (claiming not-found when the object exists) loses a
+    grounding; a false negative (a false "found") invents one.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "tn": self.true_negatives,
+        }
+
+
+def no_target_report(predicted_not_found: Sequence[bool],
+                     actual_no_target: Sequence[bool]) -> NoTargetReport:
+    """Score the not-found decision over aligned prediction/truth flags."""
+    predicted = np.asarray(predicted_not_found, dtype=bool)
+    actual = np.asarray(actual_no_target, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual flags must align one-to-one")
+    return NoTargetReport(
+        true_positives=int(np.sum(predicted & actual)),
+        false_positives=int(np.sum(predicted & ~actual)),
+        false_negatives=int(np.sum(~predicted & actual)),
+        true_negatives=int(np.sum(~predicted & ~actual)),
+    )
+
+
+def calibrate_not_found_threshold(found_scores: Sequence[float],
+                                  no_target_scores: Sequence[float],
+                                  ) -> float:
+    """Pick the score threshold that best separates found from absent.
+
+    ``found_scores`` are top-1 confidences on queries whose referent
+    exists; ``no_target_scores`` on queries where it does not.  Scoring
+    "not found" whenever the top confidence falls below the threshold,
+    the candidate maximising the not-found F1 wins; candidates are the
+    midpoints between adjacent distinct scores (plus the extremes), and
+    ties break toward the lowest threshold — deterministic, so the
+    calibrated value is stable run to run.
+    """
+    found = np.asarray(found_scores, dtype=np.float64)
+    absent = np.asarray(no_target_scores, dtype=np.float64)
+    if len(absent) == 0:
+        return 0.0
+    if len(found) == 0:
+        return float(absent.max()) + 1e-6
+    scores = np.unique(np.concatenate([found, absent]))
+    candidates = np.concatenate([
+        [scores[0] - 1e-6],
+        (scores[:-1] + scores[1:]) / 2.0,
+        [scores[-1] + 1e-6],
+    ])
+    best_threshold, best_f1 = float(candidates[0]), -1.0
+    for threshold in candidates:
+        report = no_target_report(
+            np.concatenate([found < threshold, absent < threshold]),
+            np.concatenate([np.zeros(len(found), dtype=bool),
+                            np.ones(len(absent), dtype=bool)]))
+        if report.f1 > best_f1 + 1e-12:
+            best_threshold, best_f1 = float(threshold), report.f1
+    return best_threshold

@@ -10,6 +10,7 @@ from repro.experiments.config import ExperimentPreset, PRESETS, get_preset
 from repro.experiments.context import ExperimentContext
 from repro.experiments import table1, table2, table3, table4, table5
 from repro.experiments import figure4, figure5
+from repro.experiments import scenario_matrix
 
 __all__ = [
     "ExperimentPreset",
@@ -23,4 +24,5 @@ __all__ = [
     "table5",
     "figure4",
     "figure5",
+    "scenario_matrix",
 ]

@@ -78,6 +78,7 @@ class ExperimentContext:
         seed_everything(seed)
 
         self._datasets: Dict[str, GroundingDataset] = {}
+        self._scenario_datasets: Dict[str, GroundingDataset] = {}
         self._shared_vocab: Optional[Vocabulary] = None
         self._word2vec: Optional[np.ndarray] = None
         self._yollo: Dict[str, Tuple[YolloModel, Grounder, TrainingCurve]] = {}
@@ -120,6 +121,36 @@ class ExperimentContext:
         if self._shared_vocab is not None:
             self._datasets[name].vocab = self._shared_vocab
         return self._datasets[name]
+
+    def scenario_dataset(self, name: str) -> GroundingDataset:
+        """Build (once) a registered scenario's splits at preset scale.
+
+        Returned as a :class:`~repro.data.GroundingDataset` (with its
+        own vocabulary over the scenario's expressions) so the table
+        harness and ``dataset_statistics`` treat scenario workloads
+        exactly like the RefCOCO-style datasets.
+        """
+        from repro.data.refcoco import DatasetSpec
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario(name)  # fail fast on unknown names
+        if name not in self._scenario_datasets:
+            self.logger.log(f"building scenario {name}")
+            with self._unit_seed(f"scenario-{name}"):
+                splits = scenario.build_splits(self.preset.eval_scenes)
+            vocab = Vocabulary.from_corpus(
+                sample.tokens
+                for samples in splits.values() for sample in samples)
+            spec = DatasetSpec(
+                name=f"scenario:{name}", flavor="refcoco",
+                scenes_per_split={split: self.preset.eval_scenes
+                                  for split in splits})
+            max_len = max(len(sample.tokens)
+                          for samples in splits.values()
+                          for sample in samples)
+            self._scenario_datasets[name] = GroundingDataset(
+                spec, splits, vocab, max_query_length=max_len)
+        return self._scenario_datasets[name]
 
     def shared_vocab(self) -> Vocabulary:
         """Union vocabulary over all datasets (cross-dataset evaluation)."""

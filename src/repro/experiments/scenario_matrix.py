@@ -1,0 +1,158 @@
+"""Scenario workload matrix — ranked grounding quality per scenario.
+
+For every registered scenario this renders two reference rows through
+the structured-response metrics (:func:`~repro.eval.recall_at_k`,
+:func:`~repro.eval.no_target_report`):
+
+* ``oracle`` — the ground-truth answer table served back verbatim, the
+  upper bound every metric should saturate (and a self-check that the
+  scenario's answers are consistent with its own samples);
+* ``largest-first`` — a no-learning baseline that ranks every object in
+  the scene by area and never says "not found": recall@k shows how far
+  blind ranking gets, and the no-target columns are zero by
+  construction — the gap the calibrated ``not_found`` decision exists
+  to close.
+
+The ``weak`` scenario additionally trains its contrastive two-tower
+model on the pairing-only split and reports pointing-game accuracy —
+grounding quality with zero box supervision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.eval import format_table, no_target_report, recall_at_k
+from repro.experiments.context import ExperimentContext
+from repro.scenarios import (
+    ScenarioSample,
+    available_scenarios,
+    ranked_answer,
+)
+
+
+def _largest_first_ranking(sample: ScenarioSample,
+                           top_k: int = 5) -> np.ndarray:
+    """Rank the scene's object boxes by area, largest first."""
+    if sample.scene is None or not sample.scene.objects:
+        return np.empty((0, 4))
+    boxes = sample.scene.boxes()
+    areas = (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
+    return boxes[np.argsort(-areas)][:top_k]
+
+
+def score_rows(samples: Sequence[ScenarioSample]) -> Dict[str, Dict[str, float]]:
+    """Oracle and largest-first metric rows over one scenario's eval split."""
+    targets = [np.asarray(s.all_target_boxes).reshape(-1, 4)
+               for s in samples]
+    actual_no_target = [s.is_no_target for s in samples]
+
+    oracle_boxes, oracle_not_found = [], []
+    for sample in samples:
+        boxes, _, not_found = ranked_answer(sample)
+        oracle_boxes.append(boxes)
+        oracle_not_found.append(not_found)
+
+    baseline_boxes = [_largest_first_ranking(s) for s in samples]
+    baseline_not_found = [False] * len(samples)
+
+    def row(ranked, predicted_not_found) -> Dict[str, float]:
+        report = no_target_report(predicted_not_found, actual_no_target)
+        return {
+            "recall@1": recall_at_k(ranked, targets, k=1),
+            "recall@5": recall_at_k(ranked, targets, k=5),
+            "nt_precision": report.precision,
+            "nt_recall": report.recall,
+            "nt_f1": report.f1,
+        }
+
+    return {
+        "oracle": row(oracle_boxes, oracle_not_found),
+        "largest-first": row(baseline_boxes, baseline_not_found),
+    }
+
+
+def collect(context: ExperimentContext) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Metric rows for every registered scenario."""
+    return {
+        name: score_rows(context.scenario_dataset(name)["eval"])
+        for name in available_scenarios()
+    }
+
+
+def weak_pointing_row(context: ExperimentContext) -> Dict[str, float]:
+    """Train the weak contrastive model and score the pointing game."""
+    from repro.scenarios import pointing_accuracy, train_weak_model
+
+    dataset = context.scenario_dataset("weak")
+    with context._unit_seed("scenario-weak-train"):
+        result = train_weak_model(
+            dataset["train"], dataset.vocab,
+            steps=max(20, context.preset.baseline_steps // 10))
+        accuracy = pointing_accuracy(
+            result["model"], dataset["eval"], dataset.vocab,
+            result["max_length"])
+    return {
+        "pointing_accuracy": accuracy,
+        "final_loss": result["losses"][-1],
+        "first_loss": result["losses"][0],
+    }
+
+
+def run(context: ExperimentContext) -> str:
+    """Render the scenario matrix report."""
+    rows: List[List[object]] = []
+    for name, by_grounder in collect(context).items():
+        for grounder_name, metrics in by_grounder.items():
+            rows.append([
+                f"{name}/{grounder_name}",
+                metrics["recall@1"],
+                metrics["recall@5"],
+                metrics["nt_precision"],
+                metrics["nt_recall"],
+                metrics["nt_f1"],
+            ])
+    matrix = format_table(
+        ["Scenario/grounder", "R@1", "R@5",
+         "NT-prec", "NT-rec", "NT-F1"],
+        rows,
+        title="Table 2b: scenario workload matrix (ranked answers)",
+    )
+    weak = weak_pointing_row(context)
+    weak_table = format_table(
+        ["Weak supervision", "pointing acc", "loss start", "loss end"],
+        [["contrastive two-tower", weak["pointing_accuracy"],
+          weak["first_loss"], weak["final_loss"]]],
+        title="Weak scenario: pointing game (no boxes at train time)",
+    )
+    return matrix + "\n\n" + weak_table
+
+
+def run_scenario(context: ExperimentContext, name: str) -> str:
+    """Standalone report for one scenario (``experiments --scenario``)."""
+    from repro.data import dataset_statistics
+
+    dataset = context.scenario_dataset(name)
+    stats = dataset_statistics(dataset)
+    lines = [f"scenario {name}: {int(stats['queries'])} queries over "
+             f"{int(stats['images'])} images, "
+             f"avg length {stats['avg_query_length']:.1f} tokens"]
+    mix = stats["query_type_mix"]
+    lines.append("query mix: " + ", ".join(
+        f"{kind}={fraction:.0%}" for kind, fraction in mix.items()))
+    rows = [
+        [grounder_name, metrics["recall@1"], metrics["recall@5"],
+         metrics["nt_precision"], metrics["nt_recall"], metrics["nt_f1"]]
+        for grounder_name, metrics in score_rows(dataset["eval"]).items()
+    ]
+    lines.append(format_table(
+        ["Grounder", "R@1", "R@5", "NT-prec", "NT-rec", "NT-F1"], rows))
+    if name == "weak":
+        weak = weak_pointing_row(context)
+        lines.append(
+            f"contrastive pointing accuracy: "
+            f"{weak['pointing_accuracy']:.2f} "
+            f"(loss {weak['first_loss']:.3f} -> {weak['final_loss']:.3f})")
+    return "\n".join(lines)

@@ -1,7 +1,12 @@
 """Table 1 — dataset statistics.
 
 Reproduces the paper's Table 1 (plus the query-length and same-type
-densities quoted in Section 4.1) for the three synthetic datasets.
+densities quoted in Section 4.1) for the three synthetic datasets, and
+appends a Table 1b covering the registered scenario workloads
+(:mod:`repro.scenarios`): per scenario the sample counts plus the
+query-type mix — the single/multi/no-target/weak-pair fractions that
+distinguish the scenario regimes from the classic always-one-referent
+datasets.
 """
 
 from __future__ import annotations
@@ -20,8 +25,18 @@ def collect(context: ExperimentContext) -> Dict[str, Dict[str, float]]:
     }
 
 
+def collect_scenarios(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Statistics per registered scenario workload."""
+    from repro.scenarios import available_scenarios
+
+    return {
+        name: dataset_statistics(context.scenario_dataset(name))
+        for name in available_scenarios()
+    }
+
+
 def run(context: ExperimentContext) -> str:
-    """Render the Table-1 report."""
+    """Render the Table-1 report (datasets, then scenario workloads)."""
     stats = collect(context)
     rows: List[List[object]] = []
     for name, values in stats.items():
@@ -35,8 +50,31 @@ def run(context: ExperimentContext) -> str:
                 values["avg_same_type"],
             ]
         )
-    return format_table(
+    datasets_table = format_table(
         ["Dataset", "#images", "#queries", "#targets", "avg len", "same-type"],
         rows,
         title="Table 1: dataset statistics (synthetic RefCOCO substitutes)",
     )
+
+    scenario_rows: List[List[object]] = []
+    for name, values in collect_scenarios(context).items():
+        mix = values["query_type_mix"]
+        scenario_rows.append(
+            [
+                name,
+                int(values["images"]),
+                int(values["queries"]),
+                values["avg_query_length"],
+                mix.get("single", 0.0),
+                mix.get("multi", 0.0),
+                mix.get("no_target", 0.0),
+                mix.get("weak_pair", 0.0),
+            ]
+        )
+    scenarios_table = format_table(
+        ["Scenario", "#images", "#queries", "avg len",
+         "single", "multi", "no-target", "weak-pair"],
+        scenario_rows,
+        title="Table 1b: scenario workloads (query-type mix)",
+    )
+    return datasets_table + "\n\n" + scenarios_table

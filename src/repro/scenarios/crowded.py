@@ -1,0 +1,163 @@
+"""Crowded scenario: dense scenes, multi-target and no-target queries.
+
+Scenes pack 8–13 objects with a relaxed overlap budget, so most queries
+face heavy distractor pressure.  Three query types are emitted:
+
+* ``single`` — a verified-unique referring expression from the base
+  grammar (:class:`~repro.data.expressions.ExpressionGenerator`);
+* ``multi`` — "all the red cars": a category(+colour) filter that
+  matches **several** objects; the structured answer ranks every
+  matching box;
+* ``no_target`` — "the purple dog" in a scene verified to contain no
+  purple dog; the only correct structured answer is ``not_found``.
+
+The multi/no-target types are exactly what the legacy single-box
+protocol cannot express — they force the ranked
+:class:`~repro.core.GroundingResponse` protocol end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.expressions import ExpressionGenerator
+from repro.data.render import render_scene
+from repro.data.scenes import CATEGORIES, COLORS, Scene, SceneGenerator
+from repro.scenarios.registry import (
+    Scenario,
+    ScenarioSample,
+    register_scenario,
+)
+from repro.text.tokenizer import tokenize
+
+#: Target object count for a "crowded" scene.
+_MIN_OBJECTS = 8
+_MAX_OBJECTS = 13
+
+#: Fractions of each query type in the eval split.
+QUERY_TYPE_MIX: Dict[str, float] = {
+    "single": 0.5,
+    "multi": 0.25,
+    "no_target": 0.25,
+}
+
+
+def generate_crowded_scene(rng: np.random.Generator) -> Scene:
+    """A dense scene: base generation plus extra rejection-placed objects."""
+    gen = SceneGenerator(same_type_density=4.5, max_overlap_iou=0.25,
+                         min_size=8, max_size=20, rng=rng)
+    scene = gen.generate(rng=rng)
+    want = int(rng.integers(_MIN_OBJECTS, _MAX_OBJECTS + 1))
+    attempts = 0
+    while len(scene.objects) < want and attempts < 4 * want:
+        attempts += 1
+        placed = gen._place_object(scene, str(rng.choice(CATEGORIES)), rng)
+        if placed is not None:
+            scene.objects.append(placed)
+    return scene
+
+
+def _multi_query(scene: Scene, rng: np.random.Generator,
+                 ) -> Optional[Tuple[str, np.ndarray]]:
+    """A query matched by ≥2 objects, plus every matching box (ranked).
+
+    Prefers a category+colour filter when one matches several objects,
+    falling back to a bare category filter.
+    """
+    combos: List[Tuple[str, Optional[str], List[int]]] = []
+    for category in CATEGORIES:
+        indices = [i for i, o in enumerate(scene.objects)
+                   if o.category == category]
+        if len(indices) >= 2:
+            combos.append((category, None, indices))
+        for color in COLORS:
+            colored = [i for i in indices
+                       if scene.objects[i].color == color]
+            if len(colored) >= 2:
+                combos.append((category, color, colored))
+    if not combos:
+        return None
+    category, color, indices = combos[int(rng.integers(len(combos)))]
+    noun = category + ("s" if not category.endswith("s") else "")
+    query = (f"all the {color} {noun}" if color is not None
+             else f"all the {noun}")
+    # Rank large-to-small: a deterministic, appearance-derived order.
+    boxes = np.stack([scene.objects[i].box for i in indices])
+    areas = (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
+    return query, boxes[np.argsort(-areas)]
+
+
+def _no_target_query(scene: Scene,
+                     rng: np.random.Generator) -> Optional[str]:
+    """A category+colour reference verified absent from the scene."""
+    present = {(o.category, o.color) for o in scene.objects}
+    absent = [(cat, col) for cat in CATEGORIES for col in COLORS
+              if (cat, col) not in present]
+    if not absent:
+        return None
+    category, color = absent[int(rng.integers(len(absent)))]
+    return f"the {color} {category}"
+
+
+def build_crowded(num_scenes: int,
+                  rng: np.random.Generator,
+                  ) -> Dict[str, List[ScenarioSample]]:
+    """Generate the crowded scenario's eval split (mixed query types)."""
+    expr_gen = ExpressionGenerator("refcoco", rng=rng)
+    per_scene = 3  # one attempt of each query type per scene
+    samples: List[ScenarioSample] = []
+    guard = 0
+    want = num_scenes * per_scene
+    while len(samples) < want:
+        guard += 1
+        if guard > max(50, num_scenes * 50):
+            raise RuntimeError("crowded scenario generation stalled")
+        scene = generate_crowded_scene(rng)
+        image = render_scene(scene, rng=rng)
+
+        draw = rng.random()
+        if draw < QUERY_TYPE_MIX["single"]:
+            indices = list(range(len(scene.objects)))
+            rng.shuffle(indices)
+            for index in indices:
+                target = scene.objects[index]
+                query = expr_gen.generate(scene, target, rng=rng)
+                if query is None:
+                    continue
+                samples.append(ScenarioSample(
+                    image=image, query=query, tokens=tokenize(query),
+                    target_box=target.box.copy(), target_index=index,
+                    scene=scene, split="eval", query_type="single",
+                    all_target_boxes=target.box.copy().reshape(1, 4),
+                    scenario="crowded"))
+                break
+        elif draw < QUERY_TYPE_MIX["single"] + QUERY_TYPE_MIX["multi"]:
+            multi = _multi_query(scene, rng)
+            if multi is None:
+                continue
+            query, boxes = multi
+            samples.append(ScenarioSample(
+                image=image, query=query, tokens=tokenize(query),
+                target_box=boxes[0].copy(), target_index=-1,
+                scene=scene, split="eval", query_type="multi",
+                all_target_boxes=boxes.copy(), scenario="crowded"))
+        else:
+            query = _no_target_query(scene, rng)
+            if query is None:
+                continue
+            samples.append(ScenarioSample(
+                image=image, query=query, tokens=tokenize(query),
+                target_box=np.zeros(4), target_index=-1,
+                scene=scene, split="eval", query_type="no_target",
+                all_target_boxes=np.empty((0, 4)), scenario="crowded"))
+    return {"eval": samples[:want]}
+
+
+register_scenario(Scenario(
+    name="crowded",
+    description=("dense distractor scenes with single, multi-target and "
+                 "verified no-target queries (structured answers)"),
+    build=build_crowded,
+))

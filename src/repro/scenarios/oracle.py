@@ -1,0 +1,89 @@
+"""Oracle ranked grounder: ground-truth answers behind the serving stack.
+
+Fleet soaks need to assert *correctness* (a no-target query must come
+back ``not_found``; a post-reload response must carry the new weights'
+version) independently of how good the trained model happens to be.
+:class:`OracleRankedGrounder` serves the scenario registry's answer
+table (:func:`repro.scenarios.registry.answer_table`) verbatim as
+ranked :class:`~repro.core.GroundingResponse` objects, with a fixed
+simulated latency and a tiny ``version``/``bias`` "weight" state so hot
+reloads are observable in responses and the checksum handshake
+round-trips — the structured-protocol analogue of
+:class:`~repro.serve.replica.LatencyGrounder`.
+
+The builder is module-level and its kwargs (an answer dict of numpy
+arrays) are picklable, so it works as a
+:class:`~repro.serve.replica.ReplicaSpec` builder under the ``spawn``
+start method.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.response import GroundingResponse
+from repro.serve.cache import image_digest
+
+from repro.scenarios.registry import RankedAnswer
+
+
+class OracleRankedGrounder:
+    """Answer (image, query) batches from a ground-truth table.
+
+    Every response carries ``version`` (the reloadable "weight"), so a
+    soak's ``post_reload_check`` can verify which weights produced it,
+    and ``bias`` exists purely to give the checksum handshake more than
+    one tensor to hash.  Unknown requests answer ``not_found`` rather
+    than raising — a trace built from a different sample pool is a
+    test bug the soak's correctness assertions will surface, not a
+    reason to kill a replica.
+    """
+
+    def __init__(self, answers: Dict[Tuple[str, str], RankedAnswer],
+                 latency: float = 0.002, version: float = 0.0,
+                 bias: float = 1.0, threshold: float = 0.5):
+        self.answers = dict(answers)
+        self.latency = float(latency)
+        self.version = float(version)
+        self.bias = float(bias)
+        self.threshold = float(threshold)
+        self.batches = 0
+
+    def __call__(self, samples: Sequence) -> list:
+        if self.latency > 0:
+            time.sleep(self.latency)
+        self.batches += 1
+        responses = []
+        for sample in samples:
+            key = (image_digest(sample.image), sample.query)
+            boxes, scores, not_found = self.answers.get(
+                key, (np.empty((0, 4)), np.empty((0,)), True))
+            responses.append(GroundingResponse(
+                boxes=np.asarray(boxes, dtype=np.float64).reshape(-1, 4),
+                scores=np.asarray(scores, dtype=np.float64).reshape(-1),
+                not_found=bool(not_found),
+                threshold=self.threshold,
+                version=self.version,
+            ))
+        return responses
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {"version": np.array([self.version]),
+                "bias": np.array([self.bias])}
+
+    def load_state_dict(self, state) -> None:
+        self.version = float(np.asarray(state["version"]).reshape(-1)[0])
+        self.bias = float(np.asarray(state["bias"]).reshape(-1)[0])
+
+
+def build_oracle_grounder(
+    answers: Dict[Tuple[str, str], RankedAnswer],
+    latency: float = 0.002, version: float = 0.0, bias: float = 1.0,
+    threshold: float = 0.5,
+) -> OracleRankedGrounder:
+    """Spawn-picklable builder for oracle replicas."""
+    return OracleRankedGrounder(answers, latency=latency, version=version,
+                                bias=bias, threshold=threshold)

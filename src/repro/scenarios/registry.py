@@ -1,0 +1,255 @@
+"""Scenario registry: named workload generators plus trace mixes.
+
+A *scenario* is a named generator of grounding workloads beyond the
+plain RefCOCO-style "one described object, always present" regime: road
+scenes with ego-perspective language (``driving``), dense scenes whose
+queries may match several objects or none (``crowded``), and an
+image-level-supervision-only split (``weak``).  Each registers itself
+here at import time (importing :mod:`repro.scenarios` pulls them all
+in), so harnesses — the table runners, the soak CLI, the benchmarks —
+enumerate workloads by name instead of hard-coding them.
+
+Every scenario builds deterministic splits of
+:class:`ScenarioSample` — a :class:`~repro.data.GroundingSample`
+extended with the *query type* (``single`` / ``multi`` / ``no_target``
+/ ``weak_pair``), the full set of satisfying boxes (several for multi
+queries, none for no-target queries), and the scenario tag.  The same
+seed always yields bit-identical scenes and expressions (a regression
+test asserts this per registered scenario).
+
+A *trace mix* turns scenario samples into serving traffic: a named
+blend of scenarios replayed as one Poisson-arrival
+:class:`~repro.serve.trace.TimedRequest` stream, each request tagged
+with its scenario and with ``expect_not_found`` for no-target queries,
+plus an *answer table* mapping ``(image_digest, query)`` to the ground
+truth ranked response — what an oracle replica fleet serves so soak
+runs can assert correctness (no false "found") independently of model
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.refcoco import GroundingSample
+from repro.serve.cache import image_digest
+from repro.serve.trace import TimedRequest
+from repro.utils.seeding import spawn_rng
+
+#: (boxes (k, 4), scores (k,), not_found) — the oracle ground truth for
+#: one query, convertible to a ranked GroundingResponse.
+RankedAnswer = Tuple[np.ndarray, np.ndarray, bool]
+
+
+@dataclass
+class ScenarioSample(GroundingSample):
+    """A grounding sample with structured-answer ground truth.
+
+    ``query_type`` is one of ``"single"`` (exactly one referent, the
+    classic regime), ``"multi"`` (several objects satisfy the query),
+    ``"no_target"`` (nothing does — the only correct answer is
+    ``not_found``) or ``"weak_pair"`` (image-level pairing, no box
+    supervision at all).  ``all_target_boxes`` holds every satisfying
+    box, ranked; for ``single`` it is just ``[target_box]`` and for
+    ``no_target`` it is empty.
+    """
+
+    query_type: str = "single"
+    all_target_boxes: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 4)))
+    scenario: str = ""
+
+    @property
+    def is_no_target(self) -> bool:
+        return self.query_type == "no_target"
+
+
+#: A scenario's ``build`` returns named splits of samples.  Most emit
+#: only ``eval``; ``weak`` also emits a box-free ``train`` split.
+ScenarioBuilder = Callable[[int, Optional[np.random.Generator]],
+                           Dict[str, List[ScenarioSample]]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload generator."""
+
+    name: str
+    description: str
+    #: ``build(num_scenes, rng)`` -> split name -> samples.  Passing
+    #: ``rng=None`` spawns the scenario's own deterministic stream, so
+    #: ``build(n, None)`` is bit-reproducible run to run.
+    build: ScenarioBuilder
+
+    def build_splits(self, num_scenes: int,
+                     rng: Optional[np.random.Generator] = None,
+                     ) -> Dict[str, List[ScenarioSample]]:
+        if rng is None:
+            rng = spawn_rng(f"scenario-{self.name}")
+        return self.build(num_scenes, rng)
+
+    def eval_samples(self, num_scenes: int,
+                     rng: Optional[np.random.Generator] = None,
+                     ) -> List[ScenarioSample]:
+        return self.build_splits(num_scenes, rng)["eval"]
+
+
+class UnknownScenarioError(KeyError):
+    """Lookup of a name that is not in the registry."""
+
+    def __init__(self, kind: str, name: str, available: Sequence[str]):
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown {kind} {name!r}; available: "
+            f"{', '.join(available) or '(none registered)'}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (idempotent per name)."""
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios() -> List[str]:
+    return list(_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise UnknownScenarioError("scenario", name,
+                                   available_scenarios()) from None
+
+
+# ----------------------------------------------------------------------
+# Oracle answer tables
+# ----------------------------------------------------------------------
+def ranked_answer(sample: ScenarioSample) -> RankedAnswer:
+    """Ground-truth ranked answer for one scenario sample.
+
+    Boxes come from ``all_target_boxes`` in rank order with linearly
+    decreasing confidences below 1.0; a no-target sample answers with
+    zero boxes and ``not_found=True``.
+    """
+    boxes = np.asarray(sample.all_target_boxes,
+                       dtype=np.float64).reshape(-1, 4)
+    if sample.is_no_target or len(boxes) == 0:
+        return (np.empty((0, 4)), np.empty((0,)), True)
+    scores = np.linspace(1.0, 0.5, num=len(boxes))
+    return (boxes, scores, False)
+
+
+def answer_table(samples: Sequence[ScenarioSample],
+                 ) -> Dict[Tuple[str, str], RankedAnswer]:
+    """``(image_digest, query) -> ranked answer`` over ``samples``.
+
+    The same keying as both serving cache tiers, so an oracle replica
+    can answer any request drawn from these samples.
+    """
+    return {
+        (image_digest(sample.image), sample.query): ranked_answer(sample)
+        for sample in samples
+    }
+
+
+# ----------------------------------------------------------------------
+# Trace mixes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceMix:
+    """A named blend of scenarios replayed as one request stream."""
+
+    name: str
+    #: scenario name -> relative weight (normalised at build time).
+    weights: Dict[str, float]
+
+
+_TRACE_MIXES: Dict[str, TraceMix] = {}
+
+
+def register_trace_mix(mix: TraceMix) -> TraceMix:
+    for scenario in mix.weights:
+        get_scenario(scenario)  # fail fast on a bad registration
+    _TRACE_MIXES[mix.name] = mix
+    return mix
+
+
+def available_trace_mixes() -> List[str]:
+    return list(_TRACE_MIXES)
+
+
+def get_trace_mix(name: str) -> TraceMix:
+    try:
+        return _TRACE_MIXES[name]
+    except KeyError:
+        raise UnknownScenarioError("trace mix", name,
+                                   available_trace_mixes()) from None
+
+
+def build_trace_mix(
+    name: str,
+    num_requests: int,
+    rate_qps: float,
+    scenes_per_scenario: int = 6,
+    repeat_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[List[TimedRequest], Dict[Tuple[str, str], RankedAnswer]]:
+    """Build a scenario-tagged Poisson trace plus its oracle answers.
+
+    Requests draw from each scenario's eval pool proportionally to the
+    mix weights; with probability ``repeat_fraction`` a request repeats
+    an earlier one verbatim (scenario tag included), exercising the
+    cache tiers exactly like :func:`~repro.serve.trace.timed_trace`.
+    No-target samples carry ``expect_not_found=True`` so the soak
+    harness can assert a correct "not found" came back.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1]")
+    mix = get_trace_mix(name)
+    rng = rng if rng is not None else spawn_rng(f"trace-mix-{name}")
+
+    pools: List[Tuple[str, List[ScenarioSample]]] = []
+    answers: Dict[Tuple[str, str], RankedAnswer] = {}
+    for scenario_name in mix.weights:
+        samples = get_scenario(scenario_name).eval_samples(
+            scenes_per_scenario, rng=rng)
+        if not samples:
+            raise ValueError(
+                f"scenario {scenario_name!r} produced no eval samples")
+        pools.append((scenario_name, samples))
+        answers.update(answer_table(samples))
+
+    weights = np.asarray([mix.weights[n] for n, _ in pools], dtype=np.float64)
+    weights = weights / weights.sum()
+
+    trace: List[TimedRequest] = []
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_qps, size=num_requests))
+    for arrival in arrivals:
+        if trace and rng.random() < repeat_fraction:
+            earlier = trace[int(rng.integers(len(trace)))]
+            trace.append(TimedRequest(
+                image=earlier.image, query=earlier.query,
+                arrival=float(arrival), scenario=earlier.scenario,
+                expect_not_found=earlier.expect_not_found))
+            continue
+        scenario_name, pool = pools[
+            int(rng.choice(len(pools), p=weights))]
+        sample = pool[int(rng.integers(len(pool)))]
+        trace.append(TimedRequest(
+            image=sample.image, query=sample.query, arrival=float(arrival),
+            scenario=scenario_name,
+            expect_not_found=sample.is_no_target))
+    return trace, answers

@@ -18,6 +18,13 @@ unreachable the instant new weights are live, and hits survive replica
 respawns.  ``run_soak`` replays a timed trace against the fleet — with
 deterministic fault injection — and asserts the no-lost-requests /
 no-stale-responses / p99 SLO invariants.
+
+Both tiers speak two answer protocols: the legacy ``(4,)`` top-1 box
+and the ranked :class:`~repro.core.GroundingResponse` (top-k boxes,
+calibrated ``not_found`` decision) — see :mod:`repro.core.response`.
+Scenario-tagged traces (:mod:`repro.scenarios`) additionally let the
+soak harness report per-scenario p99 and assert that no-target queries
+are never answered "found".
 """
 
 from repro.serve.cache import LRUCache, image_digest

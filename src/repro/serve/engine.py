@@ -12,7 +12,16 @@ Any object implementing the repo's batch-grounder protocol works:
 ``grounder(samples) -> (n, 4) boxes`` over :class:`GroundingSample`
 lists — :class:`repro.core.Grounder` (true batched forward) and
 :class:`repro.twostage.TwoStageGrounder` (per-sample internally, but
-still cached and instrumented) both qualify.
+still cached and instrumented) both qualify.  Grounders that return a
+list of :class:`repro.core.GroundingResponse` (ranked boxes +
+confidences + an explicit not-found decision, e.g.
+:class:`repro.core.RankedGrounder` or the scenario oracles) are served
+through exactly the same batching and caching paths: responses are
+frozen (deep read-only copies) on cache insertion and thawed (deep
+writable copies) on the way out, so a caller can never mutate a cached
+ranked list.  One engine serves one protocol — a cache key is
+``(image_digest, query)``, so mixing single-box and ranked grounders
+behind one cache would alias entries of different shapes.
 """
 
 from __future__ import annotations
@@ -27,6 +36,11 @@ from typing import Callable, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from repro.autograd import no_grad
+from repro.core.response import (
+    GroundingResponse,
+    freeze_response,
+    thaw_response,
+)
 from repro.data.refcoco import GroundingSample
 from repro.obs import MetricsRegistry, trace_span
 from repro.serve.cache import LRUCache, image_digest
@@ -222,7 +236,9 @@ class ServeEngine:
     # Request API
     # ------------------------------------------------------------------
     def submit(self, image: np.ndarray, query: str) -> Future:
-        """Enqueue one request; returns a future resolving to a (4,) box.
+        """Enqueue one request; the future resolves to the grounder's
+        answer — a (4,) box, or a :class:`~repro.core.GroundingResponse`
+        when the wrapped grounder speaks the ranked protocol.
 
         Submitting to a fully stopped engine restarts the worker (the
         documented lazy-start behaviour backing the one-liner usage);
@@ -239,7 +255,7 @@ class ServeEngine:
         future: Future = Future()
         if cached is not None:
             self._recorder.record_completion(time.perf_counter() - now, hit=True)
-            future.set_result(np.array(cached, copy=True))
+            future.set_result(thaw_response(cached))
             return future
         with self._lifecycle:
             if self._stopping:
@@ -252,14 +268,14 @@ class ServeEngine:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(image, query).result(timeout=timeout)
 
-    def ground_many(
-        self, requests: Iterable, timeout: float = 300.0
-    ) -> np.ndarray:
-        """Submit a burst of requests and gather the boxes in order.
+    def ground_many(self, requests: Iterable, timeout: float = 300.0):
+        """Submit a burst of requests and gather the answers in order.
 
         ``requests`` yields objects with ``image`` and ``query``
         attributes (e.g. :class:`repro.serve.TraceRequest`) or
-        ``(image, query)`` tuples.
+        ``(image, query)`` tuples.  Single-box grounders yield a stacked
+        ``(n, 4)`` array; ranked grounders yield the list of
+        :class:`~repro.core.GroundingResponse` in submission order.
         """
         futures = []
         for request in requests:
@@ -268,7 +284,10 @@ class ServeEngine:
             else:
                 image, query = request
             futures.append(self.submit(image, query))
-        return np.stack([future.result(timeout=timeout) for future in futures])
+        results = [future.result(timeout=timeout) for future in futures]
+        if any(isinstance(r, GroundingResponse) for r in results):
+            return results
+        return np.stack(results) if results else np.empty((0, 4))
 
     def stats(self) -> ServerStats:
         """Snapshot of throughput, latency, cache, and batching telemetry."""
@@ -328,10 +347,30 @@ class ServeEngine:
         for _key, milliseconds in plan_cache.drain_compile_events():
             self._recorder.record_compile(milliseconds)
 
-    def _resolve(self, pending: _Pending, box: np.ndarray, hit: bool) -> None:
+    def _resolve(self, pending: _Pending, value, hit: bool) -> None:
         latency = time.perf_counter() - pending.enqueued
         self._recorder.record_completion(latency, hit=hit)
-        pending.future.set_result(np.array(box, copy=True))
+        pending.future.set_result(thaw_response(value))
+
+    @staticmethod
+    def _normalize_results(raw, count: int) -> List:
+        """Coerce a grounder's batch output to one value per sample.
+
+        Single-box grounders return an array reshapable to ``(n, 4)``;
+        ranked grounders return a list of ``GroundingResponse``.  Either
+        way the worker gets a flat list it can cache and resolve with
+        the same copy-in/copy-out discipline.
+        """
+        if (isinstance(raw, (list, tuple))
+                and any(isinstance(v, GroundingResponse) for v in raw)):
+            if len(raw) != count or not all(
+                    isinstance(v, GroundingResponse) for v in raw):
+                raise TypeError(
+                    f"ranked grounder must return one GroundingResponse "
+                    f"per sample ({count}), got {len(raw)} item(s)")
+            return list(raw)
+        boxes = np.asarray(raw, dtype=np.float64).reshape(count, 4)
+        return [boxes[i] for i in range(count)]
 
     def _run_batch(self, batch: List[_Pending]) -> None:
         depth = self._queue.qsize()
@@ -353,8 +392,8 @@ class ServeEngine:
         samples = [group[0].sample for group in groups.values()]
         try:
             with trace_span("serve.batch"), no_grad():
-                boxes = np.asarray(self.grounder(samples), dtype=np.float64)
-            boxes = boxes.reshape(len(samples), 4)
+                raw = self.grounder(samples)
+            values = self._normalize_results(raw, len(samples))
         except Exception as exc:  # surface the failure on every waiter
             for group in groups.values():
                 for pending in group:
@@ -365,18 +404,16 @@ class ServeEngine:
         self._recorder.record_batch(len(samples), depth)
         with self._cache_lock:
             # A clear_cache() since this batch started (hot weight
-            # reload) means these boxes came from retired weights: serve
-            # the waiters, but keep the results out of the cache.
+            # reload) means these results came from retired weights:
+            # serve the waiters, but keep the results out of the cache.
             if self._cache_version == cache_version:
-                for key, box in zip(groups, boxes):
-                    stored = np.array(box, copy=True)
-                    stored.setflags(write=False)
-                    self._cache.put(key, stored)
-        for group, box in zip(groups.values(), boxes):
+                for key, value in zip(groups, values):
+                    self._cache.put(key, freeze_response(value))
+        for group, value in zip(groups.values(), values):
             # The first requester paid for the forward pass; in-flight
             # duplicates were deduplicated, which counts as cache service.
             for index, pending in enumerate(group):
-                self._resolve(pending, box, hit=index > 0)
+                self._resolve(pending, value, hit=index > 0)
 
     def _worker(self) -> None:
         while True:

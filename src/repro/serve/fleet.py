@@ -57,6 +57,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.response import thaw_response
 from repro.obs import MetricsRegistry
 from repro.runtime.retry import backoff_delay
 from repro.serve.cache import image_digest
@@ -424,8 +425,10 @@ class FleetRouter:
     # ------------------------------------------------------------------
     def submit(self, image: np.ndarray, query: str,
                deadline: Optional[float] = None) -> Future:
-        """Enqueue one request; the future resolves to a (4,) box or a
-        typed :class:`FleetError` — it is never left unresolved.
+        """Enqueue one request; the future resolves to the replica's
+        answer — a (4,) box, or a :class:`~repro.core.GroundingResponse`
+        when replicas serve the ranked protocol — or a typed
+        :class:`FleetError`; it is never left unresolved.
 
         Repeats are answered from the router-tier shared cache before
         admission: no queue slot, no replica round-trip, and the hit
@@ -451,9 +454,10 @@ class FleetRouter:
                 self._m_cache_hits.inc()
                 self._m_completed.inc()
                 self._m_latency.observe(self._now() - enqueued)
-                # Defensive copy: the stored box is shared by every
-                # later hit and must not be mutable through a response.
-                future.set_result(np.array(cached, copy=True))
+                # Defensive thaw: the stored value is shared by every
+                # later hit and must not be mutable through a response
+                # (ranked lists deep-copy their box and score arrays).
+                future.set_result(thaw_response(cached))
                 return future
             self._m_cache_misses.inc()
             epoch = self._response_cache.epoch
@@ -726,9 +730,10 @@ class FleetRouter:
         else:
             self._m_completed.inc()
             self._m_latency.observe(self._now() - req.enqueued)
-            # Defensive copy: the caller owns its box outright — mutating
-            # it must never reach the shared cache or another waiter.
-            req.future.set_result(np.array(result, copy=True))
+            # Defensive copy: the caller owns its answer outright —
+            # mutating it must never reach the shared cache or another
+            # waiter (thaw deep-copies ranked responses too).
+            req.future.set_result(thaw_response(result))
 
     def _handle_failure(self, req: _FleetRequest, error: FleetError) -> None:
         """Retry on a different replica, or resolve with the typed error."""

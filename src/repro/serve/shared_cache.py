@@ -20,10 +20,13 @@ to N+1 is rejected by :meth:`put` (counted in :attr:`stale_puts`), so a
 box computed by pre-reload weights can never be inserted into the
 post-reload cache no matter how the roll and the response race.
 
-Stored boxes are defensive read-only copies and :meth:`get` hands the
-stored (read-only) array back — callers that give the box to user code
-must copy (the router does), so a caller mutating a response can never
-corrupt later hits.
+Entries are either legacy ``(4,)`` boxes or ranked
+:class:`~repro.core.GroundingResponse` objects — whatever the replica
+fleet answers with.  Stored values are defensive read-only deep copies
+(:func:`~repro.core.freeze_response`) and :meth:`get` hands the stored
+(read-only) value back — callers that give it to user code must thaw
+(the router does), so a caller mutating a response can never corrupt
+later hits.
 
 The cache is thread-safe; the router's ``submit`` path (caller threads)
 and per-replica receive threads hit it concurrently.
@@ -37,6 +40,8 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
+
+from repro.core.response import ResponseLike, freeze_response
 
 
 @dataclass(frozen=True)
@@ -75,7 +80,7 @@ class SharedCacheStats:
 
 
 class SharedResponseCache:
-    """Epoch-tagged LRU of ``(image_digest, query) -> (4,) box``.
+    """Epoch-tagged LRU of ``(image_digest, query) -> response``.
 
     ``capacity == 0`` disables the cache: ``get`` always misses (without
     counting) and ``put`` is a no-op, so a router configured with
@@ -87,8 +92,8 @@ class SharedResponseCache:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
         self._lock = threading.Lock()
-        #: key -> (epoch, read-only box)
-        self._entries: "OrderedDict[Hashable, Tuple[int, np.ndarray]]" = \
+        #: key -> (epoch, read-only box or GroundingResponse)
+        self._entries: "OrderedDict[Hashable, Tuple[int, ResponseLike]]" = \
             OrderedDict()
         self._epoch = 0
         self._hits = 0
@@ -107,7 +112,7 @@ class SharedResponseCache:
         with self._lock:
             return self._epoch
 
-    def get(self, key: Hashable) -> Optional[np.ndarray]:
+    def get(self, key: Hashable) -> Optional[ResponseLike]:
         """Current-epoch entry for ``key`` (read-only) or ``None``.
 
         An entry tagged with an older epoch is stale by definition — it
@@ -131,13 +136,13 @@ class SharedResponseCache:
             self._hits += 1
             return box
 
-    def put(self, key: Hashable, box: np.ndarray,
+    def put(self, key: Hashable, box: ResponseLike,
             epoch: Optional[int] = None) -> bool:
         """Insert a response computed under ``epoch`` (default: current).
 
         Returns ``False`` without storing when ``epoch`` predates the
         cache's current epoch — the response raced a completed weight
-        roll and its box belongs to weights no longer being served.
+        roll and its content belongs to weights no longer being served.
         """
         if self.capacity == 0:
             return False
@@ -147,8 +152,7 @@ class SharedResponseCache:
             if epoch != self._epoch:
                 self._stale_puts += 1
                 return False
-            stored = np.array(box, copy=True)
-            stored.setflags(write=False)
+            stored = freeze_response(box)
             self._entries[key] = (epoch, stored)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:

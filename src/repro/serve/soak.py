@@ -14,12 +14,23 @@ Because traces carry a repeat fraction, the soak also exercises the
 cache tier end to end: the router-tier hit counters land in the
 report's :class:`~repro.serve.fleet.FleetStats`, and an optional
 ``post_reload_check`` verifies the *content* of every successful
-response submitted after a mid-run rolling reload completed — a box
+response submitted after a mid-run rolling reload completed — a result
 computed by pre-reload weights (served from an unflushed replica LRU or
 a stale cache entry) is counted in ``stale_served``.
 
+Scenario-mix traces (:mod:`repro.scenarios`) add two more dimensions:
+
+* every request tagged with a ``scenario`` contributes to that
+  scenario's own latency percentile (``scenario_p99``), so one slow
+  workload cannot hide inside the aggregate p99;
+* requests marked ``expect_not_found`` (the described object is absent)
+  must be answered with a ranked
+  :class:`~repro.core.GroundingResponse` whose ``not_found`` is True —
+  anything else is a ``false_found`` correctness violation.
+
 :meth:`SoakReport.check` turns the classification into a pass/fail
-verdict: zero lost requests, zero stale responses, a p99 latency SLO,
+verdict: zero lost requests, zero stale responses, zero false-found
+answers, a p99 latency SLO (aggregate and optionally per scenario),
 the full replica count restored after any injected crash, and
 (optionally) a minimum router-tier cache hit rate.
 """
@@ -29,11 +40,12 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.response import GroundingResponse
 from repro.serve.fleet import (
     DeadlineExceeded,
     FleetError,
@@ -42,6 +54,13 @@ from repro.serve.fleet import (
     Overloaded,
 )
 from repro.serve.trace import TimedRequest
+
+
+def _describe(result) -> str:
+    """Short human-readable rendering of either answer shape."""
+    if isinstance(result, GroundingResponse):
+        return repr(result)
+    return str(np.asarray(result).tolist())
 
 
 @dataclass(frozen=True)
@@ -65,6 +84,14 @@ class SoakReport:
     #: pre-reload weights.  Must be zero: the epoch-invalidation
     #: protocol exists to make these impossible.
     stale_served: int = 0
+    #: Requests whose described object was absent (``expect_not_found``).
+    no_target_requests: int = 0
+    #: Successful answers to no-target requests that claimed "found" —
+    #: a correctness violation, must be zero.
+    false_found: int = 0
+    #: p99 latency per scenario tag (seconds); only tagged requests that
+    #: completed successfully contribute.
+    scenario_p99: Dict[str, float] = field(default_factory=dict)
 
     @property
     def resolved(self) -> int:
@@ -73,7 +100,8 @@ class SoakReport:
     def check(self, slo_p99: Optional[float] = None,
               expected_replicas: Optional[int] = None,
               max_shed_fraction: Optional[float] = None,
-              min_cache_hit_rate: Optional[float] = None) -> List[str]:
+              min_cache_hit_rate: Optional[float] = None,
+              scenario_slo_p99: Optional[float] = None) -> List[str]:
         """Return the list of violated invariants (empty == pass)."""
         violations: List[str] = []
         if self.lost:
@@ -83,6 +111,10 @@ class SoakReport:
             violations.append(
                 f"{self.stale_served} response(s) served from pre-reload "
                 f"weights after the reload completed")
+        if self.false_found:
+            violations.append(
+                f"{self.false_found} no-target request(s) answered "
+                f"\"found\" (of {self.no_target_requests})")
         if self.resolved != self.submitted:
             violations.append(
                 f"classification mismatch: {self.resolved} resolved vs "
@@ -91,6 +123,12 @@ class SoakReport:
             violations.append(
                 f"p99 latency {self.stats.latency_p99 * 1e3:.2f}ms exceeds "
                 f"SLO {slo_p99 * 1e3:.2f}ms")
+        if scenario_slo_p99 is not None:
+            for name, p99 in sorted(self.scenario_p99.items()):
+                if p99 > scenario_slo_p99:
+                    violations.append(
+                        f"scenario '{name}' p99 {p99 * 1e3:.2f}ms exceeds "
+                        f"SLO {scenario_slo_p99 * 1e3:.2f}ms")
         if expected_replicas is not None \
                 and self.stats.alive != expected_replicas:
             violations.append(
@@ -120,6 +158,12 @@ class SoakReport:
             f"{self.deadline} deadline, {self.failed} failed, "
             f"{self.lost} LOST in {self.wall_seconds:.2f}s",
         ]
+        if self.no_target_requests:
+            lines.append(
+                f"absent   {self.no_target_requests} no-target request(s), "
+                f"{self.false_found} false-found")
+        for name, p99 in sorted(self.scenario_p99.items()):
+            lines.append(f"scenario {name:<10} p99={p99 * 1e3:.2f}ms")
         if self.reload_report is not None:
             lines.append(
                 f"reload   rolled {len(self.reload_report.replicas)} "
@@ -169,7 +213,7 @@ def run_soak(
     reload_at: Optional[int] = None,
     reload_checkpoint: Optional[str] = None,
     settle_timeout: float = 60.0,
-    post_reload_check: Optional[Callable[[np.ndarray], bool]] = None,
+    post_reload_check: Optional[Callable[[Any], bool]] = None,
 ) -> SoakReport:
     """Replay ``trace`` against ``router`` and classify every outcome.
 
@@ -181,10 +225,12 @@ def run_soak(
     are awaited up to ``settle_timeout``; anything still unresolved is
     counted as **lost**.
 
-    ``post_reload_check`` receives the (4,) box of every *successful*
+    ``post_reload_check`` receives the result of every *successful*
     response whose request was submitted after the rolling reload had
-    completed, and returns ``True`` if the box was computed by the new
-    weights (e.g. it carries the reloaded checkpoint's version
+    completed — a (4,) box, or a ranked
+    :class:`~repro.core.GroundingResponse` when replicas serve the
+    structured protocol — and returns ``True`` if it was computed by
+    the new weights (e.g. it carries the reloaded checkpoint's version
     fingerprint).  Responses failing the check are counted in
     :attr:`SoakReport.stale_served` — the checksum-verified "zero
     responses from pre-reload weights" invariant.
@@ -200,6 +246,9 @@ def run_soak(
     #: request was submitted — only those responses are required to
     #: carry the new weights (earlier ones legitimately race the roll).
     after_reload: List[bool] = []
+    #: index -> seconds from submission to future resolution, stamped by
+    #: a done-callback (covers cache hits that resolve synchronously).
+    finished_in: Dict[int, float] = {}
     started = time.monotonic()
     for index, request in enumerate(trace):
         if reload_task is not None and index == reload_at:
@@ -209,25 +258,47 @@ def run_soak(
             time.sleep(lag)
         after_reload.append(
             reload_task is not None and reload_task.report is not None)
-        futures.append(
-            router.submit(request.image, request.query, deadline=deadline))
+        submit_ts = time.monotonic()
+        future = router.submit(request.image, request.query,
+                               deadline=deadline)
+        future.add_done_callback(
+            lambda f, i=index, t0=submit_ts:
+            finished_in.__setitem__(i, time.monotonic() - t0))
+        futures.append(future)
     if reload_task is not None and reload_task.thread is None:
         reload_task.fire()  # reload_at beyond the trace: fire at the end
 
     counts: Dict[str, int] = {"ok": 0, "shed": 0, "deadline": 0,
-                              "failed": 0, "lost": 0, "stale": 0}
+                              "failed": 0, "lost": 0, "stale": 0,
+                              "no_target": 0, "false_found": 0}
+    scenario_latencies: Dict[str, List[float]] = {}
     failures: List[str] = []
     settle_deadline = time.monotonic() + settle_timeout
-    for future, post_reload in zip(futures, after_reload):
+    for index, (future, post_reload) in enumerate(zip(futures, after_reload)):
+        request = trace[index]
+        expect_absent = bool(getattr(request, "expect_not_found", False))
+        if expect_absent:
+            counts["no_target"] += 1
         remaining = max(0.01, settle_deadline - time.monotonic())
         try:
-            box = future.result(timeout=remaining)
+            result = future.result(timeout=remaining)
             counts["ok"] += 1
+            tag = str(getattr(request, "scenario", "") or "")
+            if tag:
+                scenario_latencies.setdefault(tag, []).append(
+                    finished_in.get(index, 0.0))
+            if expect_absent and not (
+                    isinstance(result, GroundingResponse)
+                    and result.not_found):
+                counts["false_found"] += 1
+                failures.append(
+                    f"no-target query answered found: {request.query!r} "
+                    f"-> {_describe(result)}")
             if post_reload and post_reload_check is not None \
-                    and not post_reload_check(box):
+                    and not post_reload_check(result):
                 counts["stale"] += 1
                 failures.append(
-                    f"stale response after reload: {box.tolist()}")
+                    f"stale response after reload: {_describe(result)}")
         except Overloaded:
             counts["shed"] += 1
         except DeadlineExceeded:
@@ -243,6 +314,10 @@ def run_soak(
     if reload_task is not None:
         reload_task.join(max(0.01, settle_deadline - time.monotonic()))
 
+    scenario_p99 = {
+        name: float(np.percentile(np.asarray(values), 99.0))
+        for name, values in scenario_latencies.items()
+    }
     return SoakReport(
         submitted=len(futures),
         ok=counts["ok"], shed=counts["shed"], deadline=counts["deadline"],
@@ -253,4 +328,7 @@ def run_soak(
         reload_error=reload_task.error if reload_task else None,
         failures=tuple(failures[:10]),
         stale_served=counts["stale"],
+        no_target_requests=counts["no_target"],
+        false_found=counts["false_found"],
+        scenario_p99=scenario_p99,
     )

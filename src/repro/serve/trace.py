@@ -32,9 +32,21 @@ class TimedRequest(TraceRequest):
     The soak harness replays these against a serving fleet, sleeping
     until each request's ``arrival`` before submitting — sustained load
     at a target rate rather than a single burst.
+
+    Heterogeneous workload mixes (:mod:`repro.scenarios`) tag each
+    request with the scenario that generated it — the soak harness
+    reports per-scenario latency percentiles — and mark queries whose
+    described object is absent (``expect_not_found``): a successful
+    response to such a request that does **not** say "not found" is a
+    correctness violation the soak counts as ``false_found``.
     """
 
     arrival: float = 0.0
+    #: Scenario that generated this request ("" for untagged traces).
+    scenario: str = ""
+    #: The described object is absent: the only correct answer is a
+    #: ranked response with ``not_found=True``.
+    expect_not_found: bool = False
 
 
 def synthetic_trace(

@@ -74,6 +74,39 @@ class TestParser:
         assert args.reload_at == 40
         assert args.slo_p99 == pytest.approx(0.5)
 
+    def test_serve_fleet_trace_mix_parses(self):
+        args = build_parser().parse_args(
+            ["serve-fleet", "--trace-mix", "mixed"])
+        assert args.trace_mix == "mixed"
+        assert build_parser().parse_args(["serve-fleet"]).trace_mix is None
+
+    def test_serve_fleet_unknown_trace_mix_lists_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve-fleet", "--trace-mix", "nope"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown trace mix 'nope'" in stderr
+        assert "mixed" in stderr
+
+    def test_experiments_scenario_parses(self):
+        args = build_parser().parse_args(
+            ["experiments", "--scenario", "driving"])
+        assert args.scenario == "driving"
+        assert args.preset is None  # resolved via get_preset/REPRO_PRESET
+        assert build_parser().parse_args(["experiments"]).scenario is None
+
+    def test_experiments_unknown_scenario_lists_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["experiments", "--scenario", "nope"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown scenario 'nope'" in stderr
+        assert "driving" in stderr and "crowded" in stderr
+
+    def test_tables_accepts_scenarios_module(self):
+        args = build_parser().parse_args(["tables", "--only", "scenarios"])
+        assert args.only == ["scenarios"]
+
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile"])
         assert args.target == "train-step"
@@ -108,6 +141,17 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "red dog" in out and "box:" in out
+
+    def test_experiments_single_scenario_report(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["experiments", "--scenario", "crowded",
+                     "--preset", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario crowded" in out
+        assert "query mix" in out and "no_target" in out
+        assert "oracle" in out and "largest-first" in out
 
     def test_profile_train_step_writes_chrome_trace(self, tmp_path, capsys,
                                                     monkeypatch):

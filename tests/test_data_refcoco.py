@@ -67,6 +67,36 @@ class TestBuildDataset:
         assert stats["avg_query_length"] > 1.0
         assert stats["avg_same_type"] >= 1.0
 
+    def test_statistics_query_type_mix_plain_dataset(self, small_refcoco):
+        stats = dataset_statistics(small_refcoco)
+        # A classic dataset is 100% single-referent queries.
+        assert stats["query_type_mix"] == {"single": 1.0}
+        for split, info in stats["splits"].items():
+            assert info["queries"] == len(small_refcoco[split])
+            assert info["query_type_mix"] == {"single": 1.0}
+
+    def test_statistics_length_histogram(self, small_refcoco):
+        stats = dataset_statistics(small_refcoco)
+        for split, info in stats["splits"].items():
+            histogram = info["query_length_histogram"]
+            assert sum(histogram.values()) == len(small_refcoco[split])
+            lengths = sorted({len(s.tokens) for s in small_refcoco[split]})
+            assert sorted(histogram) == lengths
+            assert all(count > 0 for count in histogram.values())
+
+    def test_statistics_scenario_mix_sums_to_one(self):
+        from repro.experiments import ExperimentContext, get_preset
+
+        context = ExperimentContext(preset=get_preset("smoke"))
+        stats = dataset_statistics(context.scenario_dataset("crowded"))
+        mix = stats["query_type_mix"]
+        assert set(mix) <= {"single", "multi", "no_target"}
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix.get("no_target", 0.0) > 0.0
+        # Multi/no-target samples carry no unique referent, so the
+        # same-type density falls back to the single-referent subset.
+        assert stats["targets"] <= stats["queries"]
+
     def test_scaled_keeps_minimum(self):
         spec = REFCOCO.scaled(0.0001)
         assert min(spec.scenes_per_split.values()) >= 2

@@ -15,6 +15,11 @@ from repro.eval import (
     mean_iou,
     time_grounder,
 )
+from repro.eval import (
+    calibrate_not_found_threshold,
+    no_target_report,
+    recall_at_k,
+)
 from repro.eval.metrics import SWEEP_THRESHOLDS, pairwise_ious
 from repro.eval.timing import summarize_latencies
 
@@ -223,6 +228,104 @@ class TestFormatTable:
         assert lines[0] == "T"
         assert "1.23" in table
         assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+
+class TestRecallAtK:
+    def _boxes(self, *rows):
+        return np.asarray(rows, dtype=float).reshape(-1, 4)
+
+    def test_perfect_at_one(self):
+        targets = [self._boxes([0, 0, 10, 10]), self._boxes([5, 5, 15, 15])]
+        assert recall_at_k(targets, targets, k=1) == 1.0
+
+    def test_hit_only_deeper_in_ranking(self):
+        ranked = [self._boxes([50, 50, 60, 60], [0, 0, 10, 10])]
+        targets = [self._boxes([0, 0, 10, 10])]
+        assert recall_at_k(ranked, targets, k=1) == 0.0
+        assert recall_at_k(ranked, targets, k=2) == 1.0
+
+    def test_multi_target_any_match_counts(self):
+        ranked = [self._boxes([0, 0, 10, 10])]
+        targets = [self._boxes([100, 100, 110, 110], [0, 0, 10, 10])]
+        assert recall_at_k(ranked, targets, k=1) == 1.0
+
+    def test_no_target_queries_are_skipped(self):
+        ranked = [self._boxes([0, 0, 10, 10]), np.empty((0, 4))]
+        targets = [self._boxes([0, 0, 10, 10]), np.empty((0, 4))]
+        assert recall_at_k(ranked, targets, k=1) == 1.0
+
+    def test_empty_ranking_with_real_target_misses(self):
+        ranked = [np.empty((0, 4))]
+        targets = [self._boxes([0, 0, 10, 10])]
+        assert recall_at_k(ranked, targets, k=5) == 0.0
+
+    def test_iou_threshold_respected(self):
+        ranked = [self._boxes([0, 0, 10, 10])]
+        targets = [self._boxes([0, 0, 10, 12])]  # IoU = 10/12
+        assert recall_at_k(ranked, targets, k=1, iou_threshold=0.9) == 0.0
+        assert recall_at_k(ranked, targets, k=1, iou_threshold=0.8) == 1.0
+
+    def test_rejects_bad_k_and_misalignment(self):
+        with pytest.raises(ValueError):
+            recall_at_k([], [], k=0)
+        with pytest.raises(ValueError):
+            recall_at_k([np.empty((0, 4))], [], k=1)
+
+
+class TestNoTargetReport:
+    def test_counts_and_rates(self):
+        report = no_target_report(
+            predicted_not_found=[True, True, False, False, True],
+            actual_no_target=[True, False, True, False, True],
+        )
+        assert report.true_positives == 2
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.true_negatives == 1
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+        assert report.f1 == pytest.approx(2 / 3)
+
+    def test_never_abstains(self):
+        report = no_target_report([False, False], [True, False])
+        assert report.precision == 0.0 and report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_perfect(self):
+        report = no_target_report([True, False], [True, False])
+        assert report.f1 == 1.0
+        assert set(report.as_dict()) >= {"precision", "recall", "f1"}
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            no_target_report([True], [True, False])
+
+
+class TestCalibrateNotFoundThreshold:
+    def test_separable_scores(self):
+        threshold = calibrate_not_found_threshold(
+            found_scores=[0.9, 0.8, 0.7], no_target_scores=[0.2, 0.1]
+        )
+        assert 0.2 < threshold < 0.7
+        # The calibrated rule classifies every training score correctly.
+        assert all(s >= threshold for s in [0.9, 0.8, 0.7])
+        assert all(s < threshold for s in [0.2, 0.1])
+
+    def test_no_absent_queries_never_abstains(self):
+        assert calibrate_not_found_threshold([0.5, 0.9], []) == 0.0
+
+    def test_only_absent_queries_always_abstains(self):
+        threshold = calibrate_not_found_threshold([], [0.3, 0.6])
+        assert threshold > 0.6
+
+    def test_overlapping_scores_prefer_f1(self):
+        threshold = calibrate_not_found_threshold(
+            found_scores=[0.9, 0.6, 0.4], no_target_scores=[0.5, 0.1]
+        )
+        predicted = [s < threshold for s in [0.9, 0.6, 0.4, 0.5, 0.1]]
+        actual = [False, False, False, True, True]
+        report = no_target_report(predicted, actual)
+        assert report.f1 >= 0.5
 
 
 @settings(max_examples=25, deadline=None)

@@ -90,3 +90,49 @@ class TestContext:
         grounder = context.baseline("listener", "RefCOCO")
         boxes = grounder(context.dataset("RefCOCO")["val"][:2])
         assert boxes.shape == (2, 4)
+
+    def test_scenario_dataset_cached_and_named(self, context):
+        dataset = context.scenario_dataset("crowded")
+        assert dataset is context.scenario_dataset("crowded")
+        assert dataset.spec.name == "scenario:crowded"
+        assert len(dataset["eval"]) > 0
+
+    def test_scenario_dataset_unknown_name(self, context):
+        from repro.scenarios import UnknownScenarioError
+
+        with pytest.raises(UnknownScenarioError):
+            context.scenario_dataset("nope")
+
+
+class TestScenarioTables:
+    def test_table1b_lists_every_scenario(self, context):
+        from repro.experiments import table1
+        from repro.scenarios import available_scenarios
+
+        report = table1.run(context)
+        assert "Table 1b" in report
+        for name in available_scenarios():
+            assert name in report
+
+    def test_scenario_matrix_rows(self, context):
+        from repro.experiments import scenario_matrix
+
+        rows = scenario_matrix.score_rows(
+            context.scenario_dataset("crowded")["eval"])
+        oracle = rows["oracle"]
+        # The oracle saturates both recall and the no-target decision.
+        assert oracle["recall@1"] == pytest.approx(1.0)
+        assert oracle["nt_f1"] == pytest.approx(1.0)
+        baseline = rows["largest-first"]
+        # largest-first never abstains, so no-target recall is zero.
+        assert baseline["nt_recall"] == 0.0
+        assert baseline["recall@1"] <= oracle["recall@1"]
+
+    def test_scenario_matrix_report_renders(self, context):
+        from repro.experiments import scenario_matrix
+
+        report = scenario_matrix.run(context)
+        assert "Table 2b" in report
+        assert "pointing" in report
+        for name in ("driving", "crowded", "weak"):
+            assert f"{name}/oracle" in report
