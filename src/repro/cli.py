@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli serve-bench --dataset RefCOCO --requests 128
     python -m repro.cli serve-fleet --simulated --replicas 3 --kill-replica 0:5 --reload-at 60
     python -m repro.cli serve-fleet --trace-mix mixed --replicas 2 --reload-at 40
+    python -m repro.cli serve-fleet --presets tiny,tiny-word2pix --replicas 4
+    python -m repro.cli train --preset tiny-dilated --epochs 2 --out dilated.npz
     python -m repro.cli profile --target train-step --out trace.json
     python -m repro.cli tables --preset smoke --only table1 table5
     python -m repro.cli experiments --scenario crowded --preset smoke
@@ -46,6 +48,26 @@ def _scenario_name(value: str) -> str:
     return value
 
 
+def _preset_name(value: str) -> str:
+    """Argparse type: a registered model preset (fail listing the zoo)."""
+    from repro.zoo import available_presets
+
+    available = available_presets()
+    if value not in available:
+        raise argparse.ArgumentTypeError(
+            f"unknown model preset {value!r}; available: {', '.join(available)}")
+    return value
+
+
+def _preset_list(value: str) -> List[str]:
+    """Argparse type: comma-separated model presets (each validated)."""
+    names = [part.strip() for part in value.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of model presets")
+    return [_preset_name(name) for name in names]
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="RefCOCO",
                         choices=["RefCOCO", "RefCOCO+", "RefCOCOg"])
@@ -77,8 +99,17 @@ def _build_model(args, dataset):
     from repro.backbone import load_pretrained_backbone
     from repro.core import YolloConfig, YolloModel
 
-    config = YolloConfig(backbone=args.backbone,
-                         max_query_length=max(8, dataset.max_query_length))
+    preset = getattr(args, "preset", None)
+    if preset:
+        # Zoo presets carry the whole architecture (backbone included);
+        # --backbone is ignored in favour of the preset's choice.
+        from repro.zoo import lower_config
+
+        config = lower_config(
+            preset, max_query_length=max(8, dataset.max_query_length))
+    else:
+        config = YolloConfig(backbone=args.backbone,
+                             max_query_length=max(8, dataset.max_query_length))
     backbone = load_pretrained_backbone(config.backbone, steps=args.pretrain_steps)
     return YolloModel(config, vocab_size=len(dataset.vocab), backbone=backbone), config
 
@@ -144,6 +175,11 @@ def cmd_train(args) -> int:
         return _cmd_train_dist(args)
     dataset = _build_dataset(args)
     model, config = _build_model(args, dataset)
+    if args.preset:
+        from repro.zoo import preset_fingerprint
+
+        print(f"model preset: {args.preset} (config fingerprint "
+              f"{preset_fingerprint(args.preset, max_query_length=config.max_query_length)})")
     trainer = YolloTrainer(model, dataset, config,
                            logger=ProgressLogger("train", enabled=not args.quiet))
     if args.checkpoint_dir:
@@ -276,6 +312,12 @@ def cmd_serve_fleet(args) -> int:
     from repro.utils.seeding import spawn_rng
 
     _setup(args)
+    if args.presets and (args.trace_mix or args.simulated):
+        raise SystemExit("--presets cannot be combined with "
+                         "--trace-mix or --simulated")
+    if args.presets and args.reload_at is not None:
+        raise SystemExit("--reload-at is not supported with --presets "
+                         "(a heterogeneous reload must name its model)")
     fault_plan = None
     if args.kill_replica:
         kills = {}
@@ -302,6 +344,29 @@ def cmd_serve_fleet(args) -> int:
             max_batch=args.max_batch, cache_size=args.cache_size,
             seed=args.seed, fault_plan=fault_plan,
         )
+    elif args.presets:
+        # Heterogeneous mode: one replica group per zoo preset.  Requests
+        # are model-tagged, the router routes them only to matching
+        # replicas, and the shared response cache keys on the preset —
+        # two presets can never cross-serve each other's answers.
+        from repro.zoo import build_preset_grounder
+
+        dataset = _build_dataset(args)
+        pool = list(dataset["val"]) or list(dataset["train"])
+        preset_kwargs = dict(dataset_name=args.dataset, scale=args.scale,
+                             pretrain_steps=args.pretrain_steps)
+        spec = [
+            ReplicaSpec(
+                builder=build_preset_grounder,
+                builder_kwargs=dict(preset_kwargs, preset=name),
+                model_id=name,
+                max_batch=args.max_batch, cache_size=args.cache_size,
+                seed=args.seed,
+                dtype="float64" if args.float64 else "float32",
+                fault_plan=fault_plan,
+            )
+            for name in args.presets
+        ]
     elif args.simulated:
         from repro.data.refcoco import GroundingSample
 
@@ -359,6 +424,38 @@ def cmd_serve_fleet(args) -> int:
     if trace is None:
         trace = timed_trace(pool, args.requests, rate_qps=args.rate,
                             repeat_fraction=args.repeat_fraction)
+    content_check = None
+    if args.presets:
+        # Tag requests round-robin across the presets, then precompute —
+        # per preset, in this process — the answer a single-engine
+        # deployment of that preset would give.  Replica processes are
+        # seeded identically, so every fleet response must match its
+        # preset's reference byte for byte; one preset answering another
+        # preset's request (routing or cache cross-talk) fails the soak.
+        from repro.core import responses_equal
+        from repro.serve import image_digest
+        from repro.serve.engine import _make_sample
+        from repro.utils.seeding import seed_everything
+        from repro.zoo import build_preset_grounder
+
+        for index, request in enumerate(trace):
+            request.model = args.presets[index % len(args.presets)]
+        expected = {}
+        for name in args.presets:
+            seed_everything(args.seed)
+            reference = build_preset_grounder(preset=name, **preset_kwargs)
+            for request in trace:
+                key = (name, image_digest(request.image), str(request.query))
+                if request.model == name and key not in expected:
+                    expected[key] = reference(
+                        [_make_sample(request.image, request.query)])[0]
+        seed_everything(args.seed)
+
+        def content_check(request, result):
+            key = (request.model, image_digest(request.image),
+                   str(request.query))
+            return responses_equal(expected[key], result)
+
     config = FleetConfig(
         replicas=args.replicas, max_queue=args.max_queue,
         default_deadline=args.deadline,
@@ -381,7 +478,8 @@ def cmd_serve_fleet(args) -> int:
                     post_check = lambda box: box[2] == 2.0  # noqa: E731
             report = run_soak(router, trace, reload_at=reload_at,
                               reload_checkpoint=reload_checkpoint,
-                              post_reload_check=post_check)
+                              post_reload_check=post_check,
+                              content_check=content_check)
             # let a just-respawned replica finish coming up, then
             # re-snapshot so the health check sees the restored fleet
             router.wait_healthy(30.0)
@@ -396,6 +494,10 @@ def cmd_serve_fleet(args) -> int:
                 print(f"SOAK VIOLATION: {violation}")
             return 1
         print("soak passed: no lost requests, SLO held, fleet healthy")
+        if args.presets:
+            print(f"heterogeneous fleet: {len(args.presets)} preset(s); "
+                  f"every response bit-identical to its preset's "
+                  f"single-engine answer (zero cross-preset serves)")
         return 0
     finally:
         if reload_dir is not None:
@@ -500,7 +602,8 @@ def cmd_experiments(args) -> int:
     """Scenario workload reports (the whole matrix, or one scenario)."""
     from repro.experiments import ExperimentContext, get_preset, scenario_matrix
 
-    context = ExperimentContext(preset=get_preset(args.preset))
+    context = ExperimentContext(preset=get_preset(args.preset),
+                                model_preset=args.model_preset)
     if args.scenario:
         print(scenario_matrix.run_scenario(context, args.scenario))
     else:
@@ -515,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train a YOLLO model")
     _add_common(train)
     train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--preset", type=_preset_name, default=None,
+                       metavar="NAME",
+                       help="build the model from a repro.zoo preset "
+                            "(overrides --backbone; the preset's config "
+                            "fingerprint is stamped into checkpoints)")
     train.add_argument("--backbone", default="resnet50")
     train.add_argument("--pretrain-steps", type=int, default=300)
     train.add_argument("--eval-every", type=int, default=50)
@@ -610,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "serving ground-truth ranked answers; the soak "
                             "reports per-scenario p99 and fails on any "
                             "false \"found\" for a no-target query")
+    fleet.add_argument("--presets", type=_preset_list, default=None,
+                       metavar="A,B",
+                       help="serve a heterogeneous fleet: one replica "
+                            "group per repro.zoo preset, model-tagged "
+                            "routing, preset-keyed shared cache; the soak "
+                            "asserts every response is bit-identical to "
+                            "its preset's single-engine answer")
     fleet.add_argument("--latency", type=float, default=0.002,
                        help="simulated per-batch forward latency seconds "
                             "(with --simulated)")
@@ -675,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="NAME",
                              help="report one registered scenario "
                                   "(default: the full workload matrix)")
+    experiments.add_argument("--model-preset", type=_preset_name, default=None,
+                             metavar="NAME",
+                             help="train/evaluate a repro.zoo model preset "
+                                  "instead of the paper baseline (weights "
+                                  "are cached per preset)")
     experiments.set_defaults(func=cmd_experiments)
     return parser
 

@@ -8,9 +8,10 @@ predicts per-anchor confidence and box offsets from the attended feature
 map, and the top-1 scored anchor (after offset decoding) is the answer.
 """
 
-from repro.core.config import YolloConfig
-from repro.core.encoder import FeatureEncoder
+from repro.core.config import UnknownConfigFieldError, YolloConfig
+from repro.core.encoder import DilatedContextEncoder, FeatureEncoder
 from repro.core.rel2att import Rel2AttModule, Rel2AttStack
+from repro.core.word2pix import Word2PixModule, Word2PixStack, build_fusion_stack
 from repro.core.detector import TargetDetectionNetwork
 from repro.core.response import (
     GroundingResponse,
@@ -26,9 +27,14 @@ from repro.core.predictor import Grounder, RankedGrounder
 
 __all__ = [
     "YolloConfig",
+    "UnknownConfigFieldError",
     "FeatureEncoder",
+    "DilatedContextEncoder",
     "Rel2AttModule",
     "Rel2AttStack",
+    "Word2PixModule",
+    "Word2PixStack",
+    "build_fusion_stack",
     "TargetDetectionNetwork",
     "YolloModel",
     "YolloOutput",

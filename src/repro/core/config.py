@@ -2,8 +2,27 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Tuple
+
+
+class UnknownConfigFieldError(KeyError):
+    """An override named a field :class:`YolloConfig` does not have.
+
+    Mirrors the :class:`repro.scenarios.UnknownScenarioError` convention:
+    the message lists every valid name so a typo'd preset dict or
+    ``with_overrides`` call is self-diagnosing.
+    """
+
+    def __init__(self, name: str, available):
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown YolloConfig field {name!r}; valid fields: "
+            f"{', '.join(self.available)}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
 
 
 @dataclass(frozen=True)
@@ -26,6 +45,22 @@ class YolloConfig:
     d_model: int = 32  #: shared width of image/word feature vectors
     max_query_length: int = 20
     learned_positions: bool = True
+    #: Context encoder applied to the backbone feature map before the
+    #: flatten/projection step: ``"none"`` (the paper's C4 output goes
+    #: straight to the projection) or ``"dilated"`` (a YOLOF-style stack
+    #: of residual dilated bottleneck blocks that widens the receptive
+    #: field without shrinking the grid).
+    context_encoder: str = "none"
+    #: Per-block dilation rates of the dilated context encoder.  The
+    #: paper-scale grid is small (6x9 at stride 8), so the rates stay
+    #: modest compared to YOLOF's (2, 4, 6, 8) over a 100x100 map.
+    encoder_dilations: Tuple[int, ...] = (1, 2, 3)
+
+    # Cross-modal fusion stack: ``"rel2att"`` is the paper's relation
+    # map; ``"word2pix"`` is the Word2Pix-style one-way word-to-pixel
+    # cross-attention alternative (same interface, same attention-mask
+    # supervision).
+    fusion: str = "rel2att"
 
     # Rel2Att stack.
     d_rel: int = 48  #: relation-space width (paper: 512)
@@ -46,9 +81,18 @@ class YolloConfig:
     anchor_scales: Tuple[float, ...] = (12.0, 18.0, 26.0)
     anchor_ratios: Tuple[float, ...] = (0.5, 1.0, 2.0)
 
-    # Anchor supervision (Section 3.3).
+    # Anchor supervision (Section 3.3).  ``matcher`` selects the
+    # assignment rule: ``"iou"`` is the paper's rho_high/rho_low IoU
+    # thresholding; ``"topk"`` is YOLOF-style uniform matching (the k
+    # closest anchors are positives regardless of IoU, with an IoU
+    # ignore band above ``topk_ignore_iou``).
+    matcher: str = "iou"
     rho_high: float = 0.5
     rho_low: float = 0.25
+    topk_candidates: int = 4  #: positives per target under "topk"
+    #: Non-selected anchors with IoU above this are ignored (not pushed
+    #: negative) under the "topk" matcher.
+    topk_ignore_iou: float = 0.7
     anchor_batch: int = 256  #: N — sampled anchors per image
     #: Also regress ignore-band anchors (rho_low <= IoU < rho_high) toward
     #: the target.  Because inference takes the raw top-1 anchor with no
@@ -56,6 +100,13 @@ class YolloConfig:
     #: untrained offsets; supervising its regression fixes that without
     #: touching the classification labels of Section 3.3.
     regress_ignore_band: bool = True
+
+    # Classification loss over sampled anchors: ``"softmax_ce"`` is the
+    # paper's 2-way softmax cross-entropy; ``"focal"`` replaces it with
+    # sigmoid focal loss on the target-vs-background logit margin.
+    cls_loss: str = "softmax_ce"
+    focal_alpha: float = 0.25
+    focal_gamma: float = 2.0
 
     # Loss (Eq. 9).  lambda_att = 2 departs from the paper's implicit 1:
     # at our scale the attention loss is the long pole and benefits from
@@ -73,6 +124,20 @@ class YolloConfig:
     def num_anchors_per_cell(self) -> int:
         return len(self.anchor_scales) * len(self.anchor_ratios)
 
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
     def with_overrides(self, **kwargs) -> "YolloConfig":
-        """Functional update helper used by ablation experiments."""
+        """Functional update helper used by ablation experiments.
+
+        Unknown keys raise :class:`UnknownConfigFieldError` listing the
+        valid field names, so a typo in a preset dict or an experiment
+        sweep fails loudly instead of being silently dropped by
+        ``dataclasses.replace``'s own terse ``TypeError``.
+        """
+        valid = self.field_names()
+        for key in kwargs:
+            if key not in valid:
+                raise UnknownConfigFieldError(key, valid)
         return replace(self, **kwargs)

@@ -15,8 +15,79 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.backbone import build_backbone
 from repro.core.config import YolloConfig
-from repro.nn import Embedding, LayerNorm, Linear, Module, Parameter
+from repro.nn import (
+    Conv2d,
+    DilatedConv2d,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+)
 from repro.text.position import learned_position_table, sinusoidal_position_table
+
+
+class DilatedBottleneck(Module):
+    """One residual dilated bottleneck: 1x1 reduce, 3x3 dilated, 1x1 expand.
+
+    The YOLOF dilated-encoder building block, scaled down: channel count
+    is preserved end to end so a stack of these drops into the encoder
+    between the backbone and the flatten/projection step without
+    touching any downstream shape.
+    """
+
+    def __init__(self, channels: int, dilation: int):
+        super().__init__()
+        mid = max(channels // 2, 4)
+        self.reduce = Conv2d(channels, mid, kernel_size=1)
+        self.dilated = DilatedConv2d(mid, mid, kernel_size=3,
+                                     dilation=dilation)
+        self.expand = Conv2d(mid, channels, kernel_size=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.reduce(x).relu()
+        out = self.dilated(out).relu()
+        out = self.expand(out).relu()
+        return x + out
+
+
+class DilatedContextEncoder(Module):
+    """Stacked dilated residual blocks widening the backbone's context.
+
+    Applied to the raw backbone feature map (``config.context_encoder ==
+    "dilated"``): successive dilation rates grow the receptive field
+    multiplicatively without another downsampling stage, so distant
+    relational cues ("left of", "behind") reach a cell's feature before
+    the relation stack ever runs — the YOLOF dilated-encoder idea at
+    grounding-grid scale.  Spatial size and channel count are unchanged.
+    """
+
+    def __init__(self, channels: int, dilations):
+        super().__init__()
+        dilations = tuple(int(d) for d in dilations)
+        if not dilations:
+            raise ValueError("dilated context encoder needs >= 1 dilation")
+        self.dilations = dilations
+        self.blocks = [DilatedBottleneck(channels, d) for d in dilations]
+        for index, block in enumerate(self.blocks):
+            setattr(self, f"block{index}", block)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+
+def build_context_encoder(config: YolloConfig,
+                          channels: int) -> Optional[Module]:
+    """Context encoder selected by ``config.context_encoder`` (or None)."""
+    if config.context_encoder == "none":
+        return None
+    if config.context_encoder == "dilated":
+        return DilatedContextEncoder(channels, config.encoder_dilations)
+    raise ValueError(
+        f"unknown context_encoder {config.context_encoder!r}; "
+        f"valid encoders: none, dilated")
 
 
 class FeatureEncoder(Module):
@@ -32,6 +103,7 @@ class FeatureEncoder(Module):
         self.grid_w = config.image_width // self.backbone.stride
         self.num_regions = self.grid_h * self.grid_w
 
+        self.context = build_context_encoder(config, self.backbone.out_channels)
         self.image_proj = Linear(self.backbone.out_channels, config.d_model)
         # Region features are normalised to O(1) so the relation map and
         # detection head see a scale that is independent of the trunk's
@@ -80,6 +152,8 @@ class FeatureEncoder(Module):
     def encode_image(self, images: Tensor) -> Tensor:
         """Images ``(B,3,H,W)`` -> region sequence ``(B, m, d_model)``."""
         feature_map = self.backbone(images)  # (B, C, gh, gw)
+        if self.context is not None:
+            feature_map = self.context(feature_map)
         batch = feature_map.shape[0]
         flat = feature_map.reshape(batch, self.backbone.out_channels, self.num_regions)
         sequence = flat.transpose(0, 2, 1)  # (B, m, C)

@@ -9,8 +9,13 @@ import numpy as np
 
 from repro.autograd import Tensor, log_softmax
 from repro.core.config import YolloConfig
-from repro.detection import AnchorGrid, AnchorMatcher, BalancedSampler
-from repro.nn import smooth_l1, softmax_cross_entropy
+from repro.detection import (
+    AnchorGrid,
+    AnchorMatcher,
+    BalancedSampler,
+    UniformTopKMatcher,
+)
+from repro.nn import sigmoid_focal_loss, smooth_l1, softmax_cross_entropy
 
 
 @dataclass
@@ -51,6 +56,43 @@ def attention_mask_loss(att_v: Tensor, gt_mask: np.ndarray) -> Tensor:
     return -(log_p * Tensor(gt_mask)).sum(axis=-1).mean()
 
 
+def build_matcher(config: YolloConfig):
+    """Anchor matcher selected by ``config.matcher``.
+
+    ``"iou"`` is the paper's rho_high/rho_low thresholding; ``"topk"``
+    is YOLOF-style uniform matching (exactly ``topk_candidates``
+    positives per target regardless of scale).
+    """
+    if config.matcher == "iou":
+        return AnchorMatcher(rho_high=config.rho_high, rho_low=config.rho_low)
+    if config.matcher == "topk":
+        return UniformTopKMatcher(topk=config.topk_candidates,
+                                  ignore_threshold=config.topk_ignore_iou)
+    raise ValueError(
+        f"unknown matcher {config.matcher!r}; valid matchers: iou, topk")
+
+
+def classification_loss(picked_logits: Tensor, labels: np.ndarray,
+                        config: YolloConfig) -> Tensor:
+    """Classification term over sampled anchors, per ``config.cls_loss``.
+
+    ``"softmax_ce"`` is the paper's 2-way softmax cross-entropy;
+    ``"focal"`` collapses the two logits into the target-vs-background
+    margin and applies sigmoid focal loss (easy negatives are
+    down-weighted rather than balanced purely by sampling).
+    """
+    if config.cls_loss == "softmax_ce":
+        return softmax_cross_entropy(picked_logits, labels)
+    if config.cls_loss == "focal":
+        margin = picked_logits[:, 1] - picked_logits[:, 0]
+        return sigmoid_focal_loss(margin, labels,
+                                  alpha=config.focal_alpha,
+                                  gamma=config.focal_gamma)
+    raise ValueError(
+        f"unknown cls_loss {config.cls_loss!r}; valid losses: "
+        f"softmax_ce, focal")
+
+
 def detection_loss(
     cls_logits: Tensor,
     reg_offsets: Tensor,
@@ -61,14 +103,15 @@ def detection_loss(
 ):
     """Eqs. (7)-(8): sampled classification + positive-only regression.
 
-    Anchors are labelled with the rho_high/rho_low rule, ``N`` anchors
-    per image are sampled (balanced positive/negative), classification is
-    2-way softmax cross-entropy, and regression is smooth-L1 on the
-    positives only (the ``p_i^*`` factor).
+    Anchors are labelled by the configured matcher (rho_high/rho_low by
+    default, uniform top-k as the zoo variant), ``N`` anchors per image
+    are sampled (balanced positive/negative), classification is the
+    configured loss over the sampled anchors, and regression is
+    smooth-L1 on the positives only (the ``p_i^*`` factor).
     Returns ``(cls_loss, reg_loss)`` tensors averaged over the batch.
     """
     anchors = anchor_grid.all_anchors()
-    matcher = AnchorMatcher(rho_high=config.rho_high, rho_low=config.rho_low)
+    matcher = build_matcher(config)
     sampler = BalancedSampler(batch_size=config.anchor_batch)
     batch = cls_logits.shape[0]
 
@@ -78,7 +121,7 @@ def detection_loss(
         match = matcher.match(anchors, target_boxes[b])
         indices, labels = sampler.sample(match, rng=rng)
         picked_logits = cls_logits[b][indices]
-        cls_terms.append(softmax_cross_entropy(picked_logits, labels))
+        cls_terms.append(classification_loss(picked_logits, labels, config))
 
         if config.regress_ignore_band:
             regressed = np.flatnonzero(match.ious >= config.rho_low)

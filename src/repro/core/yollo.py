@@ -11,8 +11,8 @@ from repro.autograd import Tensor, no_grad, softmax
 from repro.core.config import YolloConfig
 from repro.core.detector import TargetDetectionNetwork
 from repro.core.encoder import FeatureEncoder
-from repro.core.rel2att import Rel2AttStack
 from repro.core.response import GroundingResponse
+from repro.core.word2pix import build_fusion_stack
 from repro.detection import clip_boxes, decode_offsets, nms
 from repro.nn import Module
 from repro.obs import trace_span
@@ -51,7 +51,10 @@ class YolloModel(Module):
         super().__init__()
         self.config = config
         self.encoder = FeatureEncoder(config, vocab_size, pretrained_embeddings, backbone)
-        self.rel2att = Rel2AttStack(config)
+        # Attribute keeps its historical name whichever fusion stack is
+        # installed, so state-dict keys stay stable across presets that
+        # share a fusion choice.
+        self.rel2att = build_fusion_stack(config)
         self.detector = TargetDetectionNetwork(
             config,
             grid_h=self.encoder.grid_h,

@@ -17,7 +17,7 @@ from repro.detection.boxes import (
     iou_matrix,
 )
 from repro.detection.anchors import AnchorGrid
-from repro.detection.matcher import AnchorMatcher, MatchResult
+from repro.detection.matcher import AnchorMatcher, MatchResult, UniformTopKMatcher
 from repro.detection.sampler import BalancedSampler
 from repro.detection.nms import nms
 
@@ -32,6 +32,7 @@ __all__ = [
     "AnchorGrid",
     "AnchorMatcher",
     "MatchResult",
+    "UniformTopKMatcher",
     "BalancedSampler",
     "nms",
 ]

@@ -1,4 +1,4 @@
-"""IoU-based anchor labelling with the paper's rho_high / rho_low rule."""
+"""Anchor labelling: the paper's IoU rule and YOLOF-style uniform top-k."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.detection.boxes import encode_offsets, iou_matrix
+from repro.detection.boxes import boxes_to_cxcywh, encode_offsets, iou_matrix
 
 
 @dataclass
@@ -63,5 +63,50 @@ class AnchorMatcher:
         labels[ious >= self.rho_high] = 1
         if self.force_match and not (labels == 1).any():
             labels[int(ious.argmax())] = 1
+        offsets = encode_offsets(anchors, np.broadcast_to(target, anchors.shape))
+        return MatchResult(labels=labels, offsets=offsets, ious=ious)
+
+
+class UniformTopKMatcher:
+    """YOLOF-style uniform matching for the single-target grounding case.
+
+    Instead of thresholding IoU (which hands large objects many positives
+    and small objects almost none), the ``k`` anchors whose centers lie
+    closest to the target's center become the positives — *exactly* ``k``
+    per target, uniformly across object scales.  Everything else is
+    negative, except non-selected anchors whose IoU with the target is at
+    least ``ignore_threshold``: those are close enough that pushing them
+    to background would fight the regression head, so they are ignored
+    (label ``-1``), mirroring the reference implementation's
+    ``ignore_thresh`` band.
+
+    Ties in center distance are broken by anchor index (``argsort`` is
+    stable over the lexicographic key), so matching is deterministic.
+    """
+
+    def __init__(self, topk: int = 4, ignore_threshold: float = 0.7):
+        if topk < 1:
+            raise ValueError(f"topk must be at least 1, got {topk}")
+        if not 0.0 <= ignore_threshold <= 1.0:
+            raise ValueError(
+                f"ignore_threshold must be in [0, 1], got {ignore_threshold}")
+        self.topk = topk
+        self.ignore_threshold = ignore_threshold
+
+    def match(self, anchors: np.ndarray, target_box: np.ndarray) -> MatchResult:
+        """Produce labels and regression targets for one ground-truth box."""
+        anchors = np.asarray(anchors, dtype=np.float64)
+        target = np.asarray(target_box, dtype=np.float64).reshape(1, 4)
+        ious = iou_matrix(anchors, target)[:, 0]
+        anchor_centers = boxes_to_cxcywh(anchors)[:, :2]
+        target_center = boxes_to_cxcywh(target)[0, :2]
+        distances = np.abs(anchor_centers - target_center).sum(axis=1)
+
+        k = min(self.topk, len(anchors))
+        order = np.argsort(distances, kind="stable")
+        selected = order[:k]
+        labels = np.zeros(len(anchors), dtype=np.int64)
+        labels[ious >= self.ignore_threshold] = -1
+        labels[selected] = 1
         offsets = encode_offsets(anchors, np.broadcast_to(target, anchors.shape))
         return MatchResult(labels=labels, offsets=offsets, ious=ious)

@@ -66,12 +66,21 @@ class ExperimentContext:
 
     def __init__(self, preset: Optional[ExperimentPreset] = None,
                  cache_dir: Optional[str] = None, seed: int = 7,
-                 verbose: bool = True):
+                 verbose: bool = True, model_preset: Optional[str] = None):
         self.preset = preset or get_preset()
+        if model_preset is not None:
+            from repro.zoo import get_preset as get_model_preset
+
+            get_model_preset(model_preset)  # fail fast on unknown names
+        self.model_preset = model_preset
         self.seed = seed
         self.logger = ProgressLogger("experiments", enabled=verbose)
         root = cache_dir or default_cache_dir()
-        self.cache_dir = os.path.join(root, "experiments", self.preset.name)
+        # A model preset gets its own cache namespace: trained weights,
+        # curves, and eval reports are a function of the architecture.
+        leaf = (self.preset.name if model_preset is None
+                else f"{self.preset.name}-{model_preset}")
+        self.cache_dir = os.path.join(root, "experiments", leaf)
         os.makedirs(self.cache_dir, exist_ok=True)
         if self.preset.use_float32:
             set_default_dtype(np.float32)
@@ -195,7 +204,13 @@ class ExperimentContext:
     # YOLLO models
     # ------------------------------------------------------------------
     def yollo_config(self, **overrides) -> YolloConfig:
-        base = YolloConfig(max_query_length=self.max_query_length())
+        if self.model_preset is not None:
+            from repro.zoo import lower_config
+
+            base = lower_config(self.model_preset,
+                                max_query_length=self.max_query_length())
+        else:
+            base = YolloConfig(max_query_length=self.max_query_length())
         return base.with_overrides(**overrides) if overrides else base
 
     def yollo(self, dataset_name: str, tag: str = "main",

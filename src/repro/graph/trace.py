@@ -54,6 +54,7 @@ from repro.graph.ir import Graph, Node, Slot
 _EXTERNAL_FUNCTIONS: Tuple[Tuple[str, str, str], ...] = (
     ("repro.core.rel2att", "_relation_weight_mask", "rel2att.weight_mask"),
     ("repro.core.rel2att", "_attention_normalizers", "rel2att.att_normalizers"),
+    ("repro.core.word2pix", "_word_mask_arrays", "word2pix.mask_arrays"),
 )
 
 #: Methods whose second operand must be coerced with ``as_tensor`` before

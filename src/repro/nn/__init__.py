@@ -8,6 +8,7 @@ from repro.nn.module import (
 )
 from repro.nn.layers import (
     Conv2d,
+    DilatedConv2d,
     Dropout,
     Embedding,
     FeedForward,
@@ -25,6 +26,7 @@ from repro.nn.rnn import GRUCell, LSTM, LSTMCell
 from repro.nn.losses import (
     binary_cross_entropy_with_logits,
     margin_ranking_loss,
+    sigmoid_focal_loss,
     smooth_l1,
     softmax_cross_entropy,
 )
@@ -37,6 +39,7 @@ __all__ = [
     "StateDictShapeError",
     "Linear",
     "Conv2d",
+    "DilatedConv2d",
     "Embedding",
     "Dropout",
     "Flatten",
@@ -57,6 +60,7 @@ __all__ = [
     "GRUCell",
     "softmax_cross_entropy",
     "binary_cross_entropy_with_logits",
+    "sigmoid_focal_loss",
     "smooth_l1",
     "margin_ranking_loss",
     "init",

@@ -44,6 +44,7 @@ from repro.serve.fleet import (
     ReloadError,
     ReloadReport,
     ReplicaLost,
+    UnknownModel,
 )
 from repro.serve.replica import (
     LatencyGrounder,
@@ -87,6 +88,7 @@ __all__ = [
     "FleetStopped",
     "ReloadError",
     "ReloadReport",
+    "UnknownModel",
     "ReplicaSpec",
     "LatencyGrounder",
     "build_latency_grounder",

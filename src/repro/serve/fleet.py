@@ -53,7 +53,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -94,6 +94,17 @@ class FleetStopped(FleetError):
 
 class ReloadError(FleetError):
     """A rolling weight reload failed (bad checkpoint or bad handshake)."""
+
+
+class UnknownModel(FleetError):
+    """A request or reload targeted a model the fleet does not serve."""
+
+    def __init__(self, model: str, available: Sequence[str]):
+        self.model = model
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown model {model!r}; fleet serves: "
+            f"{', '.join(repr(m) for m in available)}")
 
 
 @dataclass
@@ -204,10 +215,12 @@ class FleetStats:
             f"hit-rate={self.cache_hit_rate * 100:.1f}%",
         ]
         for info in self.replicas:
+            model = info.get("model", "")
             lines.append(
                 f"replica{info['index']}  {info['state']:<9} "
                 f"gen={info['generation']} depth={info['depth']} "
                 f"in-flight={info['in_flight']} served={info['served']}"
+                + (f" model={model}" if model else "")
             )
         return "\n".join(lines)
 
@@ -226,8 +239,13 @@ class _FleetRequest:
     deadline_ts: float = 0.0
     tried: Set[int] = field(default_factory=set)
     done: bool = False
-    #: Shared-cache key (``None`` when the router cache is disabled).
-    key: Optional[Tuple[str, str]] = None
+    #: Model this request must be served by (``None`` = any replica).
+    model: Optional[str] = None
+    #: Shared-cache key ``(model_id, image_digest, query)`` — ``None``
+    #: when the router cache is disabled or the request is untargeted in
+    #: a heterogeneous fleet (any replica may answer, so no single model
+    #: identity exists to key the entry under).
+    key: Optional[Tuple[str, str, str]] = None
     #: Weights epoch at submit time — the response is inserted into the
     #: shared cache under this tag, so a box that races a completed
     #: weight roll is refused rather than cached as current.
@@ -237,8 +255,9 @@ class _FleetRequest:
 class _Slot:
     """One replica slot: the process currently filling it plus state."""
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, model_id: str = ""):
         self.index = index
+        self.model_id = model_id
         self.generation = -1
         self.process = None
         self.conn = None
@@ -258,6 +277,7 @@ class _Slot:
             "index": self.index, "state": self.state,
             "generation": self.generation, "depth": self.depth,
             "in_flight": len(self.in_flight), "served": self.served,
+            "model": self.model_id,
         }
 
 
@@ -267,12 +287,30 @@ class FleetRouter:
     Use as a context manager, or call :meth:`start`/:meth:`stop`.
     """
 
-    def __init__(self, spec: ReplicaSpec, config: FleetConfig = None,
+    def __init__(self, spec: Union[ReplicaSpec, Sequence[ReplicaSpec]],
+                 config: FleetConfig = None,
                  metrics: MetricsRegistry = None,
                  logger: Optional[ProgressLogger] = None,
                  rng=None):
-        self.spec = spec
+        # One spec = homogeneous fleet (the common case); a sequence of
+        # specs makes a *heterogeneous* fleet: slot i runs
+        # ``specs[i % len(specs)]``, so N replicas round-robin over the
+        # models and model-tagged requests route only to matching slots.
+        if isinstance(spec, ReplicaSpec):
+            self.specs: Tuple[ReplicaSpec, ...] = (spec,)
+        else:
+            self.specs = tuple(spec)
+            if not self.specs:
+                raise ValueError("at least one ReplicaSpec is required")
+        self.spec = self.specs[0]
+        #: Distinct model identities, in spec order.
+        self.model_ids: Tuple[str, ...] = tuple(
+            dict.fromkeys(s.model_id for s in self.specs))
         self.config = config if config is not None else FleetConfig()
+        if self.config.replicas < len(self.specs):
+            raise ValueError(
+                f"{len(self.specs)} replica specs need at least that many "
+                f"replicas (config.replicas={self.config.replicas})")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.logger = logger or ProgressLogger("fleet", enabled=False)
         self._rng = rng if rng is not None else spawn_rng("fleet-backoff")
@@ -284,7 +322,10 @@ class FleetRouter:
         self._response_cache = SharedResponseCache(self.config.router_cache)
         self._retry_heap: List[Tuple[float, int, _FleetRequest]] = []
         self._seq = itertools.count()
-        self._current_checkpoint: Optional[str] = self.spec.initial_checkpoint
+        #: Last rolled checkpoint per model identity — respawned
+        #: replicas of a model rejoin at that model's weights.
+        self._current_checkpoints: Dict[str, Optional[str]] = {
+            s.model_id: s.initial_checkpoint for s in self.specs}
         self._closing = threading.Event()
         self._closed = False
         self._started = False
@@ -317,7 +358,8 @@ class FleetRouter:
                 return self
             self._started = True
             for index in range(self.config.replicas):
-                slot = _Slot(index)
+                slot = _Slot(index,
+                             model_id=self._spec_for(index).model_id)
                 self._slots[index] = slot
                 self._spawn(slot)
         self._spawn_thread(self._dispatch_loop, "fleet-dispatch")
@@ -335,16 +377,21 @@ class FleetRouter:
         thread.start()
         self._threads.append(thread)
 
+    def _spec_for(self, index: int) -> ReplicaSpec:
+        """The replica spec that fills slot ``index``."""
+        return self.specs[index % len(self.specs)]
+
     def _spawn(self, slot: _Slot) -> None:
         """Launch a (re)placement process into ``slot``."""
         slot.generation += 1
+        base = self._spec_for(slot.index)
         # Injected fault plans apply to generation 0 only: a respawned
         # replica runs clean (PR-5 fault-aware rebuild idiom), and it
-        # joins at the weights of the last completed rolling reload.
+        # joins at its model's last completed rolling reload.
         spec = replace(
-            self.spec,
-            fault_plan=self.spec.fault_plan if slot.generation == 0 else None,
-            initial_checkpoint=self._current_checkpoint,
+            base,
+            fault_plan=base.fault_plan if slot.generation == 0 else None,
+            initial_checkpoint=self._current_checkpoints[base.model_id],
         )
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
@@ -424,15 +471,26 @@ class FleetRouter:
     # Request API
     # ------------------------------------------------------------------
     def submit(self, image: np.ndarray, query: str,
-               deadline: Optional[float] = None) -> Future:
+               deadline: Optional[float] = None,
+               model: Optional[str] = None) -> Future:
         """Enqueue one request; the future resolves to the replica's
         answer — a (4,) box, or a :class:`~repro.core.GroundingResponse`
         when replicas serve the ranked protocol — or a typed
         :class:`FleetError`; it is never left unresolved.
 
+        ``model`` pins the request to replicas serving that model
+        identity (see :attr:`ReplicaSpec.model_id`); an unknown identity
+        resolves the future with :class:`UnknownModel`.  In a
+        homogeneous fleet ``model=None`` targets the fleet's single
+        model; in a heterogeneous fleet it means "any replica" — and
+        such requests bypass the shared cache, since no one model
+        identity can vouch for the answer.
+
         Repeats are answered from the router-tier shared cache before
         admission: no queue slot, no replica round-trip, and the hit
-        survives any replica crash or respawn.  Only current-epoch
+        survives any replica crash or respawn.  Entries are keyed by
+        ``(model_id, image_digest, query)`` — a hit is only ever served
+        back to the model that computed it — and only current-epoch
         entries are served, so a completed weight roll instantly stops
         every pre-reload box from being returned.
         """
@@ -443,12 +501,18 @@ class FleetRouter:
             if self._closed:
                 future.set_exception(FleetStopped("fleet is stopped"))
                 return future
+        if model is not None and model not in self.model_ids:
+            future.set_exception(UnknownModel(model, self.model_ids))
+            return future
+        target = model
+        if target is None and len(self.model_ids) == 1:
+            target = self.model_ids[0]
         self._m_submitted.inc()
         enqueued = self._now()
-        key: Optional[Tuple[str, str]] = None
+        key: Optional[Tuple[str, str, str]] = None
         epoch = 0
-        if self._response_cache.capacity:
-            key = (image_digest(image), str(query))
+        if self._response_cache.capacity and target is not None:
+            key = (target, image_digest(image), str(query))
             cached = self._response_cache.get(key)
             if cached is not None:
                 self._m_cache_hits.inc()
@@ -466,7 +530,7 @@ class FleetRouter:
             deadline=float(deadline if deadline is not None
                            else self.config.default_deadline),
             future=future, enqueued=enqueued,
-            key=key, epoch=epoch,
+            model=target, key=key, epoch=epoch,
         )
         try:
             self._admission.put_nowait(req)
@@ -479,10 +543,11 @@ class FleetRouter:
 
     def ground(self, image: np.ndarray, query: str,
                deadline: Optional[float] = None,
-               timeout: float = 60.0) -> np.ndarray:
+               timeout: float = 60.0,
+               model: Optional[str] = None) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(image, query, deadline=deadline).result(
-            timeout=timeout)
+        return self.submit(image, query, deadline=deadline,
+                           model=model).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -548,8 +613,14 @@ class FleetRouter:
     # Rolling hot reload
     # ------------------------------------------------------------------
     def reload_weights(self, checkpoint_path: str,
-                       timeout: float = 60.0) -> ReloadReport:
+                       timeout: float = 60.0,
+                       model: Optional[str] = None) -> ReloadReport:
         """Roll new weights across the fleet, one replica at a time.
+
+        In a heterogeneous fleet ``model`` names which model's replicas
+        to roll (required when the fleet serves more than one — weights
+        for one preset must never be loaded into another's replicas);
+        a homogeneous fleet may omit it.
 
         The checkpoint is read and checksum-verified by the router
         first; each replica is drained (no new dispatches, in-flight
@@ -561,14 +632,24 @@ class FleetRouter:
         its old weights and the reload raises.  Other replicas keep
         serving throughout — in-flight requests are never dropped.
         """
+        if model is None:
+            if len(self.model_ids) > 1:
+                raise ReloadError(
+                    "fleet serves multiple models "
+                    f"({', '.join(repr(m) for m in self.model_ids)}); "
+                    "pass model= to say which one to reload")
+            model = self.model_ids[0]
+        elif model not in self.model_ids:
+            raise UnknownModel(model, self.model_ids)
         started = self._now()
         payload = load_checkpoint_payload(checkpoint_path)
         expected = state_checksum(payload)
-        # Respawns from here on join at the new weights.
-        self._current_checkpoint = checkpoint_path
+        # Respawns of this model from here on join at the new weights.
+        self._current_checkpoints[model] = checkpoint_path
         report = ReloadReport(path=checkpoint_path, checksum=expected)
         with self._lock:
-            indices = sorted(self._slots)
+            indices = [i for i in sorted(self._slots)
+                       if self._slots[i].model_id == model]
         for index in indices:
             slot = self._slots[index]
             if not self._drain_for_reload(slot, timeout):
@@ -610,7 +691,11 @@ class FleetRouter:
         # LRU before acking): advance the shared cache's weights epoch in
         # one atomic step.  Every pre-reload entry is unreachable from
         # this instant; a raise anywhere above skips the bump, leaving
-        # the old epoch — still being served by the fleet — valid.
+        # the old epoch — still being served by the fleet — valid.  The
+        # epoch is fleet-global, so in a heterogeneous fleet rolling one
+        # model also evicts the *other* models' entries: deliberately
+        # conservative (a cold cache is a latency cost; a stale answer
+        # is a correctness bug).
         epoch = self._response_cache.bump_epoch()
         self._m_cache_epoch.set(epoch)
         self._m_reloads.inc()
@@ -664,7 +749,7 @@ class FleetRouter:
             with self._lock:
                 if req.done:
                     return
-                slot = self._pick_slot(req.tried)
+                slot = self._pick_slot(req.tried, req.model)
                 if slot is not None:
                     req.attempts += 1
                     req.tried.add(slot.index)
@@ -682,7 +767,7 @@ class FleetRouter:
                         slot.state = "lost"
                         req.attempts -= 1
                         continue
-                if not self._any_capacity_coming():
+                if not self._any_capacity_coming(req.model):
                     self._finish(req, error=ReplicaLost(
                         "no serving replica available and respawn "
                         "budget exhausted"))
@@ -692,11 +777,14 @@ class FleetRouter:
         self._finish(req, error=FleetStopped(
             "fleet stopped before this request could be dispatched"))
 
-    def _pick_slot(self, exclude: Set[int]) -> Optional[_Slot]:
-        """Least-loaded live replica, preferring ones not yet tried."""
+    def _pick_slot(self, exclude: Set[int],
+                   model: Optional[str] = None) -> Optional[_Slot]:
+        """Least-loaded live replica (of ``model``, when pinned),
+        preferring ones not yet tried."""
         candidates = [
             slot for slot in self._slots.values()
             if slot.state == "up"
+            and (model is None or slot.model_id == model)
             and len(slot.in_flight) < self.config.max_replica_inflight
         ]
         if not candidates:
@@ -705,11 +793,13 @@ class FleetRouter:
         pool = fresh or candidates
         return min(pool, key=lambda s: (len(s.in_flight) + s.depth, s.index))
 
-    def _any_capacity_coming(self) -> bool:
-        """Is any replica up, starting, draining, or due to respawn?"""
+    def _any_capacity_coming(self, model: Optional[str] = None) -> bool:
+        """Is any (matching) replica up, starting, draining, or due to
+        respawn?"""
         return any(
-            slot.state in ("up", "starting", "draining")
-            or slot.respawn_at is not None
+            (slot.state in ("up", "starting", "draining")
+             or slot.respawn_at is not None)
+            and (model is None or slot.model_id == model)
             for slot in self._slots.values()
         )
 

@@ -183,6 +183,11 @@ class ReplicaSpec:
 
     builder: Callable[..., Any]
     builder_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Identity of the model this replica serves (a zoo preset name or
+    #: fingerprint).  A heterogeneous fleet routes model-tagged requests
+    #: only to matching replicas and keys the shared response cache on
+    #: this, so two presets can never cross-serve each other's answers.
+    model_id: str = ""
     max_batch: int = 8
     max_wait: float = 0.002
     cache_size: int = 256

@@ -92,6 +92,10 @@ class SoakReport:
     #: p99 latency per scenario tag (seconds); only tagged requests that
     #: completed successfully contribute.
     scenario_p99: Dict[str, float] = field(default_factory=dict)
+    #: Successful responses that failed the per-request ``content_check``
+    #: (e.g. a heterogeneous-fleet answer that does not match the
+    #: request's own model reference) — must be zero.
+    content_mismatches: int = 0
 
     @property
     def resolved(self) -> int:
@@ -115,6 +119,10 @@ class SoakReport:
             violations.append(
                 f"{self.false_found} no-target request(s) answered "
                 f"\"found\" (of {self.no_target_requests})")
+        if self.content_mismatches:
+            violations.append(
+                f"{self.content_mismatches} response(s) failed the "
+                f"per-request content check")
         if self.resolved != self.submitted:
             violations.append(
                 f"classification mismatch: {self.resolved} resolved vs "
@@ -174,6 +182,9 @@ class SoakReport:
         if self.stale_served:
             lines.append(f"stale    {self.stale_served} response(s) from "
                          f"pre-reload weights — STALE")
+        if self.content_mismatches:
+            lines.append(f"content  {self.content_mismatches} response(s) "
+                         f"failed the content check — WRONG MODEL?")
         lines.append(self.stats.render())
         return "\n".join(lines)
 
@@ -214,6 +225,7 @@ def run_soak(
     reload_checkpoint: Optional[str] = None,
     settle_timeout: float = 60.0,
     post_reload_check: Optional[Callable[[Any], bool]] = None,
+    content_check: Optional[Callable[[TimedRequest, Any], bool]] = None,
 ) -> SoakReport:
     """Replay ``trace`` against ``router`` and classify every outcome.
 
@@ -234,6 +246,14 @@ def run_soak(
     fingerprint).  Responses failing the check are counted in
     :attr:`SoakReport.stale_served` — the checksum-verified "zero
     responses from pre-reload weights" invariant.
+
+    ``content_check`` receives ``(request, result)`` for every
+    successful response and returns ``True`` if the answer is the one
+    this request should have gotten — e.g. bit-identical to the
+    request's own model's single-engine output in a heterogeneous
+    fleet.  Failures land in :attr:`SoakReport.content_mismatches`.
+    Requests carrying a ``model`` tag are pinned to that model's
+    replicas (see :meth:`~repro.serve.fleet.FleetRouter.submit`).
     """
     if (reload_at is None) != (reload_checkpoint is None):
         raise ValueError(
@@ -260,7 +280,8 @@ def run_soak(
             reload_task is not None and reload_task.report is not None)
         submit_ts = time.monotonic()
         future = router.submit(request.image, request.query,
-                               deadline=deadline)
+                               deadline=deadline,
+                               model=(getattr(request, "model", "") or None))
         future.add_done_callback(
             lambda f, i=index, t0=submit_ts:
             finished_in.__setitem__(i, time.monotonic() - t0))
@@ -270,7 +291,8 @@ def run_soak(
 
     counts: Dict[str, int] = {"ok": 0, "shed": 0, "deadline": 0,
                               "failed": 0, "lost": 0, "stale": 0,
-                              "no_target": 0, "false_found": 0}
+                              "no_target": 0, "false_found": 0,
+                              "mismatch": 0}
     scenario_latencies: Dict[str, List[float]] = {}
     failures: List[str] = []
     settle_deadline = time.monotonic() + settle_timeout
@@ -299,6 +321,13 @@ def run_soak(
                 counts["stale"] += 1
                 failures.append(
                     f"stale response after reload: {_describe(result)}")
+            if content_check is not None \
+                    and not content_check(request, result):
+                counts["mismatch"] += 1
+                failures.append(
+                    f"content check failed for {request.query!r} "
+                    f"(model={getattr(request, 'model', '')!r}) "
+                    f"-> {_describe(result)}")
         except Overloaded:
             counts["shed"] += 1
         except DeadlineExceeded:
@@ -331,4 +360,5 @@ def run_soak(
         no_target_requests=counts["no_target"],
         false_found=counts["false_found"],
         scenario_p99=scenario_p99,
+        content_mismatches=counts["mismatch"],
     )

@@ -44,6 +44,9 @@ class TimedRequest(TraceRequest):
     arrival: float = 0.0
     #: Scenario that generated this request ("" for untagged traces).
     scenario: str = ""
+    #: Model this request targets in a heterogeneous fleet ("" routes to
+    #: any replica); see :class:`repro.serve.replica.ReplicaSpec`.
+    model: str = ""
     #: The described object is absent: the only correct answer is a
     #: ranked response with ``not_found=True``.
     expect_not_found: bool = False

@@ -103,6 +103,44 @@ class TestParser:
         assert "unknown scenario 'nope'" in stderr
         assert "driving" in stderr and "crowded" in stderr
 
+    def test_train_preset_parses(self):
+        args = build_parser().parse_args(["train", "--preset", "tiny-focal"])
+        assert args.preset == "tiny-focal"
+        assert build_parser().parse_args(["train"]).preset is None
+
+    def test_train_unknown_preset_lists_zoo(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", "--preset", "nope"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown model preset 'nope'" in stderr
+        assert "tiny" in stderr and "tiny-word2pix" in stderr
+
+    def test_serve_fleet_presets_parse_as_list(self):
+        args = build_parser().parse_args(
+            ["serve-fleet", "--presets", "tiny,tiny-word2pix"])
+        assert args.presets == ["tiny", "tiny-word2pix"]
+        assert build_parser().parse_args(["serve-fleet"]).presets is None
+
+    def test_serve_fleet_unknown_preset_in_list_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["serve-fleet", "--presets", "tiny,bogus"])
+        assert excinfo.value.code == 2
+        assert "unknown model preset 'bogus'" in capsys.readouterr().err
+
+    def test_serve_fleet_presets_exclusive_with_simulated(self):
+        with pytest.raises(SystemExit):
+            main(["serve-fleet", "--presets", "tiny", "--simulated"])
+        with pytest.raises(SystemExit):
+            main(["serve-fleet", "--presets", "tiny", "--reload-at", "5"])
+
+    def test_experiments_model_preset_parses(self):
+        args = build_parser().parse_args(
+            ["experiments", "--model-preset", "tiny-dilated"])
+        assert args.model_preset == "tiny-dilated"
+        assert build_parser().parse_args(["experiments"]).model_preset is None
+
     def test_tables_accepts_scenarios_module(self):
         args = build_parser().parse_args(["tables", "--only", "scenarios"])
         assert args.only == ["scenarios"]
@@ -141,6 +179,34 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "red dog" in out and "box:" in out
+
+    def test_train_with_model_preset(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        checkpoint = str(tmp_path / "preset.npz")
+        code = main(["train", "--preset", "tiny-topk", "--epochs", "1",
+                     "--scale", "0.03", "--pretrain-steps", "1",
+                     "--eval-every", "0", "--quiet", "--out", checkpoint])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model preset: tiny-topk" in out
+        assert "config fingerprint" in out
+        assert os.path.exists(checkpoint)
+
+    @pytest.mark.dist
+    def test_heterogeneous_preset_fleet_soak(self, tmp_path, capsys,
+                                             monkeypatch):
+        """Acceptance: two presets behind one router, every response
+        bit-identical to its preset's single-engine output, zero
+        cross-preset cache serves."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["serve-fleet", "--presets", "tiny,tiny-word2pix",
+                     "--replicas", "2", "--requests", "16", "--rate", "200",
+                     "--scale", "0.03", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "heterogeneous fleet: 2 preset(s)" in out
+        assert "model=tiny" in out and "model=tiny-word2pix" in out
+        assert "0 LOST" in out
 
     def test_experiments_single_scenario_report(self, tmp_path, capsys,
                                                 monkeypatch):

@@ -1,0 +1,131 @@
+"""Word2Pix fusion: cross-attention shapes, padding, grads, stack wiring."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import Word2PixModule, Word2PixStack, YolloConfig
+from repro.core.word2pix import build_fusion_stack
+
+
+def config(**overrides):
+    base = YolloConfig(backbone="tiny", d_model=8, d_rel=12, ffn_hidden=10,
+                       max_query_length=4, num_rel2att=2)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def sequences(m=6, n=3, batch=2, seed=0):
+    rng = np.random.default_rng(seed)
+    v = Tensor(rng.normal(size=(batch, m, 8)), requires_grad=True)
+    t = Tensor(rng.normal(size=(batch, n, 8)), requires_grad=True)
+    return v, t
+
+
+class TestWord2PixModule:
+    def test_output_shapes(self):
+        module = Word2PixModule(config())
+        v, t = sequences()
+        attended_v, att_v = module(v, t)
+        assert attended_v.shape == v.shape
+        assert att_v.shape == (2, 6)
+
+    def test_padding_tokens_do_not_change_output(self):
+        """A masked-out word must be invisible to every pixel."""
+        module = Word2PixModule(config())
+        v, t = sequences()
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 0.0]])
+        base_out, base_att = module(v, t, token_mask=mask)
+        # clobber the padded word's features: nothing may move
+        poked = Tensor(t.data.copy())
+        poked.data[:, 2, :] = 1e3
+        poked_out, poked_att = module(v, poked, token_mask=mask)
+        assert np.allclose(base_out.data, poked_out.data)
+        assert np.allclose(base_att.data, poked_att.data)
+
+    def test_no_mask_means_all_words_count(self):
+        module = Word2PixModule(config())
+        v, t = sequences()
+        out_none, _ = module(v, t)
+        poked = Tensor(t.data.copy())
+        poked.data[:, 2, :] += 1.0
+        out_poked, _ = module(v, poked)
+        assert not np.allclose(out_none.data, out_poked.data)
+
+    def test_grads_flow_to_both_streams_and_weights(self):
+        module = Word2PixModule(config())
+        v, t = sequences()
+        attended_v, _ = module(v, t)
+        attended_v.sum().backward()
+        assert v.grad is not None and np.abs(v.grad).sum() > 0
+        assert t.grad is not None and np.abs(t.grad).sum() > 0
+        assert module.query_proj.weight.grad is not None
+
+
+class TestWord2PixStack:
+    def test_stack_shapes_and_attention_masks(self):
+        stack = Word2PixStack(config())
+        v, t = sequences()
+        out, masks = stack(v, t)
+        assert out.shape == v.shape
+        assert len(masks) == 2
+        for mask in masks:
+            assert mask.shape == (2, 6)
+
+    def test_residual_composition(self):
+        """Each block adds to the visual stream (query side is static)."""
+        stack = Word2PixStack(config(num_rel2att=1))
+        v, t = sequences()
+        out, _ = stack(v, t)
+        assert not np.allclose(out.data, v.data)
+
+    def test_state_dict_layout_mirrors_rel2att(self):
+        """Both fusion stacks key their blocks ``blocks.layer{i}.`` so the
+        model's state-dict prefix is fusion-agnostic."""
+        stack = Word2PixStack(config())
+        keys = stack.state_dict().keys()
+        assert any(key.startswith("blocks.layer0.") for key in keys)
+        assert any(key.startswith("blocks.layer1.") for key in keys)
+        assert "blocks.layer0.att_gain" in keys
+
+
+class TestBuildFusionStack:
+    def test_rel2att_default(self):
+        from repro.core import Rel2AttStack
+
+        assert isinstance(build_fusion_stack(config()), Rel2AttStack)
+
+    def test_word2pix_selected(self):
+        stack = build_fusion_stack(config(fusion="word2pix"))
+        assert isinstance(stack, Word2PixStack)
+
+    def test_unknown_fusion_lists_valid(self):
+        bad = config(fusion="concat")
+        with pytest.raises(ValueError) as excinfo:
+            build_fusion_stack(bad)
+        message = str(excinfo.value)
+        assert "concat" in message
+        assert "rel2att" in message and "word2pix" in message
+
+
+class TestYolloWithWord2Pix:
+    def test_full_model_forward_and_loss(self):
+        from repro.core import YolloModel, yollo_loss
+
+        cfg = config(fusion="word2pix", head_hidden=12)
+        model = YolloModel(cfg, vocab_size=20)
+        rng = np.random.default_rng(9)
+        images = Tensor(rng.random((2, 3, cfg.image_height, cfg.image_width)))
+        token_ids = np.array([[1, 2, 0, 0], [3, 4, 5, 0]])
+        token_mask = np.array([[1.0, 1, 0, 0], [1, 1, 1, 0]])
+        out = model(images, token_ids, token_mask)
+        assert out.cls_logits.shape[0] == 2
+        targets = np.array([[20.0, 20.0, 80.0, 80.0],
+                            [10.0, 30.0, 60.0, 90.0]])
+        breakdown = yollo_loss(out.attention_masks, out.cls_logits,
+                               out.reg_offsets, targets, model.anchor_grid,
+                               cfg)
+        loss = breakdown.total
+        assert np.isfinite(float(loss.data))
+        loss.backward()
+        grad = model.rel2att.blocks.layer0.query_proj.weight.grad
+        assert grad is not None and np.abs(grad).sum() > 0

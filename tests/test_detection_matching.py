@@ -112,3 +112,106 @@ class TestNMS:
 
     def test_empty_input(self):
         assert len(nms(np.empty((0, 4)), np.empty(0))) == 0
+
+
+class TestUniformTopKMatcher:
+    def _grid_anchors(self, n=6, size=10.0):
+        """An n x n grid of size x size anchors tiling [0, n*size]^2."""
+        from itertools import product
+
+        return np.array([
+            [x * size, y * size, (x + 1) * size, (y + 1) * size]
+            for x, y in product(range(n), range(n))
+        ])
+
+    def test_exactly_k_positives_regardless_of_scale(self):
+        from repro.detection import UniformTopKMatcher
+
+        anchors = self._grid_anchors()
+        matcher = UniformTopKMatcher(topk=4, ignore_threshold=0.7)
+        for target in (
+            np.array([12.0, 12.0, 18.0, 18.0]),    # small object
+            np.array([5.0, 5.0, 55.0, 55.0]),      # large object
+            np.array([0.0, 0.0, 60.0, 60.0]),      # whole image
+        ):
+            match = matcher.match(anchors, target)
+            assert (match.labels == 1).sum() == 4, (
+                f"target {target.tolist()} did not get exactly k positives")
+
+    def test_k_clamped_to_anchor_count(self):
+        from repro.detection import UniformTopKMatcher
+
+        anchors = self._grid_anchors(n=1)
+        match = UniformTopKMatcher(topk=4).match(
+            anchors, np.array([2.0, 2.0, 8.0, 8.0]))
+        assert (match.labels == 1).sum() == 1
+
+    def test_positives_are_the_nearest_centers(self):
+        from repro.detection import UniformTopKMatcher
+
+        anchors = self._grid_anchors()
+        target = np.array([8.0, 8.0, 22.0, 22.0])  # centered at (15, 15)
+        match = UniformTopKMatcher(topk=4).match(anchors, target)
+        from repro.detection.boxes import boxes_to_cxcywh
+
+        centers = boxes_to_cxcywh(anchors)[:, :2]
+        distances = np.abs(centers - np.array([15.0, 15.0])).sum(axis=1)
+        chosen = np.flatnonzero(match.labels == 1)
+        cutoff = np.sort(distances)[3]
+        assert (distances[chosen] <= cutoff).all()
+
+    def test_high_iou_nonselected_anchors_are_ignored(self):
+        from repro.detection import UniformTopKMatcher
+
+        target = np.array([10.0, 10.0, 30.0, 30.0])
+        # one exact-overlap anchor, one slight shift (IoU ~0.85), one far
+        anchors = np.stack([
+            target,
+            target + np.array([1.0, 0.0, 1.0, 0.0]),
+            target + np.array([100.0, 0.0, 100.0, 0.0]),
+        ])
+        match = UniformTopKMatcher(topk=1, ignore_threshold=0.7).match(
+            anchors, target)
+        assert match.labels[0] == 1          # nearest center: positive
+        assert match.labels[1] == -1, (
+            "IoU above ignore_threshold must be ignored, not negative")
+        assert match.labels[2] == 0
+
+    def test_ignore_threshold_one_disables_band(self):
+        from repro.detection import UniformTopKMatcher
+
+        target = np.array([10.0, 10.0, 30.0, 30.0])
+        anchors = np.stack([target,
+                            target + np.array([1.0, 0.0, 1.0, 0.0])])
+        match = UniformTopKMatcher(topk=1, ignore_threshold=1.0).match(
+            anchors, target)
+        assert match.labels.tolist() == [1, 0]
+
+    def test_deterministic_tie_break(self):
+        from repro.detection import UniformTopKMatcher
+
+        anchors = self._grid_anchors()
+        target = np.array([10.0, 10.0, 30.0, 30.0])
+        matcher = UniformTopKMatcher(topk=4)
+        one = matcher.match(anchors, target).labels
+        two = matcher.match(anchors[::1], target).labels
+        assert one.tolist() == two.tolist()
+
+    def test_offsets_decode_back_to_target(self):
+        from repro.detection import UniformTopKMatcher, decode_offsets
+
+        anchors = self._grid_anchors()
+        target = np.array([12.0, 14.0, 31.0, 27.0])
+        match = UniformTopKMatcher(topk=4).match(anchors, target)
+        positives = match.positive_indices
+        decoded = decode_offsets(anchors[positives], match.offsets[positives])
+        assert np.allclose(decoded, np.broadcast_to(target, decoded.shape),
+                           atol=1e-6)
+
+    def test_rejects_bad_parameters(self):
+        from repro.detection import UniformTopKMatcher
+
+        with pytest.raises(ValueError):
+            UniformTopKMatcher(topk=0)
+        with pytest.raises(ValueError):
+            UniformTopKMatcher(ignore_threshold=1.5)

@@ -136,3 +136,34 @@ class TestScenarioTables:
         assert "pointing" in report
         for name in ("driving", "crowded", "weak"):
             assert f"{name}/oracle" in report
+
+
+class TestModelPresetThreading:
+    """The zoo's --model-preset path through the experiment context."""
+
+    def test_preset_lowers_into_yollo_config(self, tmp_path):
+        context = ExperimentContext(
+            preset=get_preset("smoke"), model_preset="tiny-dilated",
+            cache_dir=str(tmp_path), verbose=False)
+        config = context.yollo_config()
+        assert config.context_encoder == "dilated"
+        assert config.backbone == "tiny"
+        # dataset-dependent padding still applied on top of the preset
+        assert config.max_query_length == context.max_query_length()
+
+    def test_preset_gets_its_own_cache_namespace(self, tmp_path):
+        plain = ExperimentContext(preset=get_preset("smoke"),
+                                  cache_dir=str(tmp_path), verbose=False)
+        zoo = ExperimentContext(preset=get_preset("smoke"),
+                                model_preset="tiny-focal",
+                                cache_dir=str(tmp_path), verbose=False)
+        assert plain.cache_dir != zoo.cache_dir
+        assert "tiny-focal" in zoo.cache_dir
+
+    def test_unknown_model_preset_fails_fast(self, tmp_path):
+        from repro.zoo import UnknownPresetError
+
+        with pytest.raises(UnknownPresetError):
+            ExperimentContext(preset=get_preset("smoke"),
+                              model_preset="nope",
+                              cache_dir=str(tmp_path), verbose=False)

@@ -457,6 +457,125 @@ class TestSoakHarness:
 
 
 @pytest.mark.dist
+class TestHeterogeneousFleet:
+    """Multiple presets behind one router: tagged routing, keyed cache."""
+
+    def _specs(self):
+        return [
+            latency_spec(builder_kwargs={"latency": 0.002, "version": 1.0},
+                         model_id="model-a"),
+            latency_spec(builder_kwargs={"latency": 0.002, "version": 2.0},
+                         model_id="model-b"),
+        ]
+
+    def test_model_tagged_requests_route_to_matching_replicas(self):
+        samples = make_samples(2)
+        cfg = FleetConfig(replicas=2, max_queue=32, default_deadline=20.0)
+        with FleetRouter(self._specs(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            a = router.ground(samples[0].image, samples[0].query,
+                              model="model-a")
+            b = router.ground(samples[0].image, samples[0].query,
+                              model="model-b")
+            stats = router.stats()
+        # the "version" weight is the model identity made observable
+        assert a[2] == 1.0 and b[2] == 2.0
+        models = {r["model"] for r in stats.replicas}
+        assert models == {"model-a", "model-b"}
+
+    def test_cache_never_cross_serves_models(self):
+        """THE regression: same (image, query) under two models must hit
+        two distinct cache entries — a repeat only hits its own model."""
+        samples = make_samples(1)
+        cfg = FleetConfig(replicas=2, max_queue=32, default_deadline=20.0,
+                          router_cache=32)
+        with FleetRouter(self._specs(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            first_a = router.ground(samples[0].image, samples[0].query,
+                                    model="model-a")
+            first_b = router.ground(samples[0].image, samples[0].query,
+                                    model="model-b")
+            assert router.stats().cache_hits == 0, (
+                "model-b answered from model-a's cache entry")
+            hit_a = router.ground(samples[0].image, samples[0].query,
+                                  model="model-a")
+            hit_b = router.ground(samples[0].image, samples[0].query,
+                                  model="model-b")
+            stats = router.stats()
+        assert first_a[2] == 1.0 and first_b[2] == 2.0
+        assert hit_a.tolist() == first_a.tolist()
+        assert hit_b.tolist() == first_b.tolist()
+        assert stats.cache_hits == 2 and stats.cache_misses == 2
+        # only the two misses reached replicas
+        assert sum(r["served"] for r in stats.replicas) == 2
+
+    def test_untagged_requests_bypass_cache_but_resolve(self):
+        samples = make_samples(1)
+        cfg = FleetConfig(replicas=2, max_queue=32, default_deadline=20.0,
+                          router_cache=32)
+        with FleetRouter(self._specs(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            one = router.ground(samples[0].image, samples[0].query)
+            two = router.ground(samples[0].image, samples[0].query)
+            stats = router.stats()
+        # untagged answers depend on which replica served them, so they
+        # must never enter (or hit) the shared cache
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+        assert one[2] in (1.0, 2.0) and two[2] in (1.0, 2.0)
+
+    def test_unknown_model_is_typed_and_lists_fleet(self):
+        from repro.serve import UnknownModel
+
+        cfg = FleetConfig(replicas=2, max_queue=8)
+        with FleetRouter(self._specs(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            future = router.submit(np.ones((4, 4, 3)), "query",
+                                   model="model-z")
+            with pytest.raises(UnknownModel) as excinfo:
+                future.result(timeout=10.0)
+        assert "model-z" in str(excinfo.value)
+        assert "model-a" in str(excinfo.value)
+        assert "model-b" in str(excinfo.value)
+
+    def test_reload_targets_one_model_only(self, tmp_path):
+        samples = make_samples(1)
+        ckpt, state = save_checkpoint(tmp_path, version=7, bias=3)
+        cfg = FleetConfig(replicas=2, max_queue=32, default_deadline=20.0)
+        with FleetRouter(self._specs(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            with pytest.raises(ReloadError):
+                router.reload_weights(ckpt)  # must name a model
+            report = router.reload_weights(ckpt, timeout=60.0,
+                                           model="model-a")
+            assert report.checksum == state_checksum(state)
+            assert len(report.replicas) == 1
+            a = router.ground(samples[0].image, samples[0].query,
+                              model="model-a")
+            b = router.ground(samples[0].image, samples[0].query,
+                              model="model-b")
+        assert a[2] == 7.0, "model-a did not pick up the reload"
+        assert b[2] == 2.0, "reload leaked into model-b's replicas"
+
+    def test_reload_unknown_model_is_typed(self, tmp_path):
+        from repro.serve import UnknownModel
+
+        ckpt, _ = save_checkpoint(tmp_path, version=7, bias=3)
+        cfg = FleetConfig(replicas=2, max_queue=8)
+        with FleetRouter(self._specs(), cfg) as router:
+            assert router.wait_healthy(60.0)
+            with pytest.raises(UnknownModel):
+                router.reload_weights(ckpt, model="model-z")
+
+    def test_fewer_replicas_than_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FleetRouter(self._specs(), FleetConfig(replicas=1))
+
+    def test_empty_spec_list_rejected(self):
+        with pytest.raises(ValueError):
+            FleetRouter([], FleetConfig(replicas=2))
+
+
+@pytest.mark.dist
 class TestFleetStopSemantics:
     def test_stop_resolves_every_outstanding_future(self):
         samples = make_samples(2)

@@ -103,3 +103,45 @@ class TestFeedForward:
         ffn(x).sum().backward()
         assert ffn.fc1.weight.grad is not None
         assert ffn.fc2.weight.grad is not None
+
+
+class TestDilatedConv2d:
+    def test_expanded_kernel_is_zero_stuffed(self):
+        layer = nn.DilatedConv2d(2, 3, kernel_size=3, dilation=2)
+        expanded = layer.expanded_weight().data
+        assert expanded.shape == (3, 2, 5, 5)
+        manual = np.zeros_like(expanded)
+        manual[:, :, ::2, ::2] = layer.weight.data
+        assert np.array_equal(expanded, manual)
+        # the zero taps really are zero
+        assert np.array_equal(expanded[:, :, 1::2, :], 
+                              np.zeros_like(expanded[:, :, 1::2, :]))
+
+    def test_dilation_one_matches_conv2d_bitwise(self):
+        dilated = nn.DilatedConv2d(2, 4, kernel_size=3, dilation=1)
+        plain = nn.Conv2d(2, 4, kernel_size=3, padding=1)
+        plain.weight.data[:] = dilated.weight.data
+        x = make((1, 2, 6, 6))
+        assert np.array_equal(dilated(x).data, plain(x).data)
+
+    def test_same_padding_preserves_spatial_size(self):
+        for dilation in (1, 2, 3):
+            layer = nn.DilatedConv2d(3, 3, kernel_size=3, dilation=dilation)
+            assert layer(make((1, 3, 9, 9))).shape == (1, 3, 9, 9)
+
+    def test_matches_conv_on_expanded_kernel(self):
+        """Dilated conv == standard conv run with the zero-stuffed kernel."""
+        layer = nn.DilatedConv2d(2, 3, kernel_size=3, dilation=2)
+        reference = nn.Conv2d(2, 3, kernel_size=5, padding=2)
+        reference.weight.data[:] = layer.expanded_weight().data
+        x = make((2, 2, 8, 8))
+        assert np.allclose(layer(x).data, reference(x).data)
+
+    def test_grad_reaches_dense_weight(self):
+        layer = nn.DilatedConv2d(2, 2, kernel_size=3, dilation=2)
+        gradient_check(lambda *i: layer(i[0]),
+                       [make((1, 2, 6, 6))] + layer.parameters())
+
+    def test_rejects_bad_dilation(self):
+        with pytest.raises(ValueError):
+            nn.DilatedConv2d(2, 2, kernel_size=3, dilation=0)

@@ -119,3 +119,82 @@ def test_property_smooth_l1_symmetric(seed):
     a = smooth_l1(Tensor(diff), np.zeros(5)).data
     b = smooth_l1(Tensor(-diff), np.zeros(5)).data
     assert np.allclose(a, b)
+
+
+class TestSigmoidFocalLoss:
+    def test_gamma_zero_no_alpha_is_exactly_bce(self):
+        from repro.nn import sigmoid_focal_loss
+
+        logits = make((4, 6), seed=3)
+        targets = (np.random.default_rng(4).random((4, 6)) > 0.5).astype(float)
+        focal = sigmoid_focal_loss(logits, targets, alpha=None, gamma=0.0)
+        bce = binary_cross_entropy_with_logits(
+            Tensor(logits.data), targets)
+        assert float(focal.data) == float(bce.data), (
+            "gamma=0 + alpha=None must reduce to BCE bit-for-bit")
+
+    def test_weighted_reduction_matches_bce_at_gamma_zero(self):
+        from repro.nn import sigmoid_focal_loss
+
+        logits = make((8,), seed=5)
+        targets = np.array([1.0, 0, 1, 0, 1, 0, 1, 0])
+        weights = np.array([1.0, 1, 0, 0, 1, 1, 0, 0])
+        focal = sigmoid_focal_loss(logits, targets, alpha=None, gamma=0.0,
+                                   weights=weights)
+        bce = binary_cross_entropy_with_logits(
+            Tensor(logits.data), targets, weights=weights)
+        assert float(focal.data) == float(bce.data)
+
+    def test_modulation_downweights_easy_examples(self):
+        from repro.nn import sigmoid_focal_loss
+
+        # A confidently-correct positive (easy) vs an uncertain one
+        # (hard): focal must shrink the easy example's share far more.
+        easy = Tensor(np.array([6.0]), requires_grad=True)
+        hard = Tensor(np.array([0.1]), requires_grad=True)
+        targets = np.array([1.0])
+        for logits in (easy, hard):
+            bce = sigmoid_focal_loss(logits, targets, alpha=None, gamma=0.0)
+            focal = sigmoid_focal_loss(logits, targets, alpha=None, gamma=2.0)
+            ratio = float(focal.data) / float(bce.data)
+            if logits is easy:
+                easy_ratio = ratio
+            else:
+                hard_ratio = ratio
+        assert easy_ratio < hard_ratio < 1.0
+
+    def test_alpha_balances_classes(self):
+        from repro.nn import sigmoid_focal_loss
+
+        logits = Tensor(np.zeros(2))
+        positive = sigmoid_focal_loss(logits, np.array([1.0, 1.0]),
+                                      alpha=0.25, gamma=0.0)
+        negative = sigmoid_focal_loss(logits, np.array([0.0, 0.0]),
+                                      alpha=0.25, gamma=0.0)
+        # identical logits, symmetric targets: only alpha distinguishes
+        assert float(positive.data) == pytest.approx(
+            float(negative.data) / 3.0)
+
+    def test_grad(self):
+        from repro.nn import sigmoid_focal_loss
+
+        targets = (np.random.default_rng(7).random((3, 4)) > 0.5).astype(float)
+        gradient_check(
+            lambda l: sigmoid_focal_loss(l, targets, alpha=0.25, gamma=2.0),
+            [make((3, 4), seed=8)],
+        )
+
+    def test_grad_gamma_one(self):
+        from repro.nn import sigmoid_focal_loss
+
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        gradient_check(
+            lambda l: sigmoid_focal_loss(l, targets, alpha=None, gamma=1.0),
+            [make((2, 2), seed=9)],
+        )
+
+    def test_rejects_negative_gamma(self):
+        from repro.nn import sigmoid_focal_loss
+
+        with pytest.raises(ValueError):
+            sigmoid_focal_loss(make((2, 2)), np.zeros((2, 2)), gamma=-1.0)

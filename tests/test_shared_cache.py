@@ -159,3 +159,45 @@ class TestLRUCacheCounting:
         assert cache.hits == 1 and cache.evictions == 1
         cache.reset_stats()
         assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+
+
+class TestModelIdentityKeys:
+    """Cache keys carry the model identity (heterogeneous-fleet fix).
+
+    The router keys its shared cache on ``(model_id, image_digest,
+    query)`` and the cache itself tags entries with the weights epoch —
+    together the effective identity is (preset, weights epoch, image,
+    query).  These are the unit-level regressions for the bug where two
+    presets sharing one cache could serve each other's boxes.
+    """
+
+    def _router_key(self, model, image, query):
+        from repro.serve import image_digest
+
+        return (model, image_digest(image), str(query))
+
+    def test_same_content_different_models_are_distinct_entries(self):
+        import numpy as np
+
+        cache = SharedResponseCache(8)
+        image = np.ones((4, 4, 3))
+        key_a = self._router_key("tiny", image, "the red box")
+        key_b = self._router_key("tiny-word2pix", image, "the red box")
+        assert key_a != key_b
+        cache.put(key_a, box(1, 1, 1, 1))
+        assert cache.get(key_b) is None, (
+            "preset B answered from preset A's cache entry")
+        cache.put(key_b, box(2, 2, 2, 2))
+        assert cache.get(key_a)[0] == 1.0
+        assert cache.get(key_b)[0] == 2.0
+
+    def test_epoch_bump_invalidates_every_model(self):
+        import numpy as np
+
+        cache = SharedResponseCache(8)
+        image = np.zeros((4, 4, 3))
+        for model in ("tiny", "tiny-word2pix"):
+            cache.put(self._router_key(model, image, "q"), box(1, 2, 3, 4))
+        cache.bump_epoch()
+        for model in ("tiny", "tiny-word2pix"):
+            assert cache.get(self._router_key(model, image, "q")) is None
