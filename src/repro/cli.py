@@ -12,7 +12,9 @@ Usage::
     python -m repro.cli train --preset tiny-dilated --epochs 2 --out dilated.npz
     python -m repro.cli profile --target train-step --out trace.json
     python -m repro.cli tables --preset smoke --only table1 table5
-    python -m repro.cli experiments --scenario crowded --preset smoke
+    python -m repro.cli experiments --scenario compositional --preset smoke
+    python -m repro.cli serve-fleet --trace-mix compositional --reload-at 40
+    python -m repro.cli parse --query "there is a red car . the dog next to it"
 
 ``python -m repro`` is an alias for ``python -m repro.cli``.
 """
@@ -45,6 +47,19 @@ def _scenario_name(value: str) -> str:
     if value not in available:
         raise argparse.ArgumentTypeError(
             f"unknown scenario {value!r}; available: {', '.join(available)}")
+    return value
+
+
+#: Output formats of the ``parse`` subcommand.
+PARSE_FORMATS = ("tree", "tokens", "masks")
+
+
+def _parse_format(value: str) -> str:
+    """Argparse type: a parse output format (fail listing the options)."""
+    if value not in PARSE_FORMATS:
+        raise argparse.ArgumentTypeError(
+            f"unknown parse format {value!r}; available: "
+            f"{', '.join(PARSE_FORMATS)}")
     return value
 
 
@@ -598,6 +613,75 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def _render_tree(tree) -> List[str]:
+    """Human-readable lines for one parsed relation tree."""
+    lines = []
+    for index, entity in enumerate(tree.entities):
+        marks = []
+        if index in tree.targets:
+            marks.append("target")
+        if entity.pronoun is not None:
+            antecedent = ("?" if entity.antecedent is None
+                          else f"#{entity.antecedent}")
+            marks.append(f"pronoun {entity.pronoun} -> {antecedent}")
+        if entity.quantified_all:
+            marks.append("all")
+        if entity.plural:
+            marks.append("plural")
+        attrs = ", ".join(
+            f"{'not ' if a.negated else ''}{a.kind}={a.value}"
+            for a in entity.attributes)
+        head = entity.head or "-"
+        suffix = f" [{'; '.join(marks)}]" if marks else ""
+        lines.append(f"  entity #{index}: {head} "
+                     f"({entity.category or 'open'})"
+                     f"{' {' + attrs + '}' if attrs else ''}{suffix}")
+    for clause in tree.clauses:
+        anchor = ("-" if clause.anchor is None else f"#{clause.anchor}")
+        negated = "not " if clause.negated else ""
+        lines.append(f"  clause: #{clause.target} "
+                     f"{negated}{clause.relation} {anchor}")
+    return lines
+
+
+def cmd_parse(args) -> int:
+    """Parse queries to relation trees (the repro.lang subsystem)."""
+    from repro.lang import clause_token_masks, parse
+
+    queries: List[str] = []
+    if args.query:
+        queries.append(args.query)
+    if args.scenario:
+        from repro.scenarios import get_scenario
+
+        samples = get_scenario(args.scenario).eval_samples(args.scenes)
+        queries.extend(s.query for s in samples[: args.limit])
+    if not queries:
+        raise SystemExit("parse needs --query and/or --scenario")
+    for query in queries:
+        tree = parse(query)
+        print(f'query: "{query}"')
+        print(f"  depth={tree.depth()} trivial={tree.is_trivial} "
+              f"sentences={tree.num_sentences}")
+        if args.format == "tree":
+            for line in _render_tree(tree):
+                print(line)
+        elif args.format == "tokens":
+            print(f"  tokens: {' '.join(tree.token_sequence())}")
+            for label, (start, end) in tree.segments:
+                print(f"  segment [{start}:{end}] {label}: "
+                      f"{' '.join(tree.tokens[start:end])}")
+        else:  # masks
+            masks = clause_token_masks(tree, args.max_length)
+            if masks is None:
+                print("  clause masks: None (flat-token fallback)")
+            else:
+                for row in masks:
+                    print("  " + "".join(str(int(v)) for v in row))
+        print()
+    return 0
+
+
 def cmd_experiments(args) -> int:
     """Scenario workload reports (the whole matrix, or one scenario)."""
     from repro.experiments import ExperimentContext, get_preset, scenario_matrix
@@ -780,6 +864,26 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure4", "figure5", "scenarios"])
     tables.set_defaults(func=cmd_tables)
+
+    parse_cmd = sub.add_parser(
+        "parse",
+        help="parse referring expressions to relation trees (repro.lang)")
+    parse_cmd.add_argument("--query", default=None,
+                           help="one free-form expression to parse")
+    parse_cmd.add_argument("--scenario", type=_scenario_name, default=None,
+                           metavar="NAME",
+                           help="also parse expressions sampled from a "
+                                "registered scenario")
+    parse_cmd.add_argument("--scenes", type=int, default=4,
+                           help="scenes to generate (with --scenario)")
+    parse_cmd.add_argument("--limit", type=int, default=8,
+                           help="max scenario expressions to print")
+    parse_cmd.add_argument("--format", type=_parse_format, default="tree",
+                           metavar="FMT",
+                           help="output format: " + ", ".join(PARSE_FORMATS))
+    parse_cmd.add_argument("--max-length", type=int, default=24,
+                           help="token budget for --format masks")
+    parse_cmd.set_defaults(func=cmd_parse)
 
     experiments = sub.add_parser(
         "experiments",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -18,11 +18,36 @@ class Grounder:
 
     Exposes the single-query API used by the examples and implements the
     batch grounder protocol consumed by :func:`repro.eval.evaluate_grounder`.
+
+    ``clause_conditioning=True`` parses each query with
+    :func:`repro.lang.parse` and feeds the compiled per-clause token
+    masks to the model's clause-conditioned Rel2Att path.  Queries that
+    compile to the flat fallback (trivial or single-clause trees) run
+    the unchanged flat path, so turning the flag on never perturbs
+    simple queries.
     """
 
-    def __init__(self, model: YolloModel, vocab: Vocabulary):
+    def __init__(self, model: YolloModel, vocab: Vocabulary,
+                 clause_conditioning: bool = False):
         self.model = model
         self.vocab = vocab
+        self.clause_conditioning = bool(clause_conditioning)
+
+    def _clause_masks(
+        self, queries: Sequence[str]
+    ) -> Optional[np.ndarray]:
+        """Compile ``queries`` to a ``(B, C, L)`` batch of clause masks.
+
+        Returns ``None`` (the exact flat path) when conditioning is off
+        or every query falls back.
+        """
+        if not self.clause_conditioning:
+            return None
+        from repro.lang import clause_token_masks, pad_clause_masks, parse
+
+        rows = [clause_token_masks(parse(query), self.max_query_length)
+                for query in queries]
+        return pad_clause_masks(rows, self.max_query_length)
 
     @property
     def name(self) -> str:
@@ -55,13 +80,17 @@ class Grounder:
         configured input size.
         """
         ids, mask = self.vocab.encode(query, self.max_query_length)
-        return self.model.predict(image[None], ids[None], mask[None])[0]
+        return self.model.predict(
+            image[None], ids[None], mask[None],
+            clause_masks=self._clause_masks([query]),
+        )[0]
 
     def ground_batch(self, samples: Sequence[GroundingSample]) -> np.ndarray:
         """Grounder protocol: samples -> predicted boxes ``(n, 4)``."""
         batch = encode_batch(samples, self.vocab, self.max_query_length)
         predictions: List[GroundingPrediction] = self.model.predict(
-            batch["images"], batch["token_ids"], batch["token_mask"]
+            batch["images"], batch["token_ids"], batch["token_mask"],
+            clause_masks=self._clause_masks([s.query for s in samples]),
         )
         return np.stack([p.box for p in predictions])
 
@@ -77,6 +106,7 @@ class Grounder:
         return self.model.predict_ranked(
             image[None], ids[None], mask[None],
             top_k=top_k, not_found_threshold=not_found_threshold,
+            clause_masks=self._clause_masks([query]),
         )[0]
 
     def ground_batch_ranked(
@@ -88,6 +118,7 @@ class Grounder:
         return self.model.predict_ranked(
             batch["images"], batch["token_ids"], batch["token_mask"],
             top_k=top_k, not_found_threshold=not_found_threshold,
+            clause_masks=self._clause_masks([s.query for s in samples]),
         )
 
     def ranked(self, top_k: int = 5,

@@ -104,25 +104,9 @@ class Rel2AttModule(Module):
         x2 = concatenate([self.ffn_v2(image_seq), self.ffn_t2(query_seq)], axis=1)
         return x1.matmul(x2.swapaxes(1, 2)) / np.sqrt(self.config.d_rel)
 
-    def forward(
-        self,
-        image_seq: Tensor,
-        query_seq: Tensor,
-        token_mask: Optional[np.ndarray] = None,
-    ) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
-        """Return ``(V_attended, T_attended, att_v, att_t)``.
-
-        ``att_v``/``att_t`` are the raw (pre-softmax) attention scores;
-        the attended sequences are the element-wise products of Eq. (4)-(5).
-        """
-        batch, m = image_seq.shape[0], image_seq.shape[1]
-        n = query_seq.shape[1]
-        relation = self.relation_map(image_seq, query_seq)
-
-        weights = _relation_weight_mask(
-            batch, m, n, token_mask,
-            self.config.use_self_attention, self.config.use_co_attention,
-        )
+    def _attention_scores(self, relation: Tensor,
+                          weights: np.ndarray, m: int) -> Tensor:
+        """Joint attention vector ``(B, k)`` from the relation map."""
         masked = relation * Tensor(weights)
         normalizers = _attention_normalizers(
             weights, m, self.config.block_balanced_attention
@@ -146,7 +130,42 @@ class Rel2AttModule(Module):
             # Strict Eq. (3)-(4) reading: plain masked means over each axis.
             att_cols = masked.sum(axis=1) / Tensor(normalizers[0])
             att_rows = masked.sum(axis=2) / Tensor(normalizers[1])
-        att = (att_cols + att_rows) * self.att_gain  # (B, k)
+        return (att_cols + att_rows) * self.att_gain  # (B, k)
+
+    def forward(
+        self,
+        image_seq: Tensor,
+        query_seq: Tensor,
+        token_mask: Optional[np.ndarray] = None,
+        clause_masks: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
+        """Return ``(V_attended, T_attended, att_v, att_t)``.
+
+        ``att_v``/``att_t`` are the raw (pre-softmax) attention scores;
+        the attended sequences are the element-wise products of Eq. (4)-(5).
+
+        ``clause_masks`` — ``(B, C, n)`` 0/1 rows from
+        :func:`repro.lang.clause_token_masks` — switches the block into
+        clause-conditioned mode: the relation map is computed once, the
+        attention averages are re-taken per clause over that clause's
+        token subset, and the per-clause vectors are pooled (mean over
+        active clauses on the image side; per-token normalised sum on
+        the text side).  Samples whose rows are all zero take the flat
+        average, bit-exact with ``clause_masks=None``.  No parameters
+        are added, so the state-dict layout is unchanged.
+        """
+        batch, m = image_seq.shape[0], image_seq.shape[1]
+        n = query_seq.shape[1]
+        relation = self.relation_map(image_seq, query_seq)
+
+        weights = _relation_weight_mask(
+            batch, m, n, token_mask,
+            self.config.use_self_attention, self.config.use_co_attention,
+        )
+        att = self._attention_scores(relation, weights, m)
+        if clause_masks is not None:
+            att = self._clause_conditioned(
+                relation, att, token_mask, clause_masks, m, n)
 
         att_v = att[:, :m]
         att_t = att[:, m:]
@@ -160,6 +179,57 @@ class Rel2AttModule(Module):
         attended_v = image_seq * att_v.tanh().expand_dims(-1)
         attended_t = query_seq * att_t.tanh().expand_dims(-1)
         return attended_v, attended_t, att_v, att_t
+
+    def _clause_conditioned(
+        self,
+        relation: Tensor,
+        att_flat: Tensor,
+        token_mask: Optional[np.ndarray],
+        clause_masks: np.ndarray,
+        m: int,
+        n: int,
+    ) -> Tensor:
+        """Pool per-clause attention averages over the shared relation map.
+
+        For each clause the flat averages are re-taken with the token
+        axis restricted to that clause's tokens; the image-side vectors
+        are averaged over a sample's active clauses and the text-side
+        vectors summed with per-token normalisation (a token attended by
+        two clauses is not double-counted).  Samples with fewer than two
+        active clauses keep their flat attention unchanged.
+        """
+        batch = clause_masks.shape[0]
+        base_mask = token_mask if token_mask is not None \
+            else np.ones((batch, n))
+        att_v_sum: Optional[Tensor] = None
+        att_t_sum: Optional[Tensor] = None
+        coverage = np.zeros((batch, n))
+        active = np.zeros(batch)
+        for index in range(clause_masks.shape[1]):
+            row = clause_masks[:, index] * base_mask  # (B, n)
+            act = (row.sum(axis=1) > 0).astype(np.float64)
+            if not act.any():
+                continue
+            weights = _relation_weight_mask(
+                batch, m, n, row,
+                self.config.use_self_attention,
+                self.config.use_co_attention,
+            )
+            att_c = self._attention_scores(relation, weights, m)
+            term_v = att_c[:, :m] * Tensor(act[:, None])
+            term_t = att_c[:, m:] * Tensor(row)
+            att_v_sum = term_v if att_v_sum is None else att_v_sum + term_v
+            att_t_sum = term_t if att_t_sum is None else att_t_sum + term_t
+            coverage += row
+            active += act
+        conditioned = (active >= 2.0).astype(np.float64)[:, None]  # (B, 1)
+        if att_v_sum is None or not conditioned.any():
+            return att_flat
+        att_v = att_v_sum / Tensor(np.maximum(active, 1.0)[:, None])
+        att_t = att_t_sum / Tensor(np.maximum(coverage, 1.0))
+        att_clause = concatenate([att_v, att_t], axis=1)
+        return (att_flat * Tensor(1.0 - conditioned)
+                + att_clause * Tensor(conditioned))
 
 
 class Rel2AttStack(Module):
@@ -183,12 +253,14 @@ class Rel2AttStack(Module):
         image_seq: Tensor,
         query_seq: Tensor,
         token_mask: Optional[np.ndarray] = None,
+        clause_masks: Optional[np.ndarray] = None,
     ) -> Tuple[Tensor, List[Tensor]]:
         attention_masks: List[Tensor] = []
         v, t = image_seq, query_seq
         for block, span_name in zip(self.blocks, self._span_names):
             with trace_span(span_name):
-                attended_v, attended_t, att_v, _ = block(v, t, token_mask)
+                attended_v, attended_t, att_v, _ = block(
+                    v, t, token_mask, clause_masks)
                 v = v + attended_v
                 t = t + attended_t
             attention_masks.append(att_v)

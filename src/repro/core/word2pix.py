@@ -124,7 +124,11 @@ class Word2PixStack(Module):
         image_seq: Tensor,
         query_seq: Tensor,
         token_mask: Optional[np.ndarray] = None,
+        clause_masks: Optional[np.ndarray] = None,
     ) -> Tuple[Tensor, List[Tensor]]:
+        # ``clause_masks`` is accepted for interface parity with
+        # Rel2AttStack but ignored: Word2Pix attention is already
+        # per-word, so clause grouping adds nothing to its averages.
         attention_masks: List[Tensor] = []
         v = image_seq
         for block, span_name in zip(self.blocks, self._span_names):

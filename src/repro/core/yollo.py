@@ -152,12 +152,14 @@ class YolloModel(Module):
             cache.clear()
 
     def forward(self, images: Tensor, token_ids: np.ndarray,
-                token_mask: Optional[np.ndarray] = None) -> YolloOutput:
+                token_mask: Optional[np.ndarray] = None,
+                clause_masks: Optional[np.ndarray] = None) -> YolloOutput:
         with trace_span("yollo.forward"):
             with trace_span("yollo.encoder"):
                 image_seq, query_seq = self.encoder(images, token_ids)
             with trace_span("yollo.rel2att"):
-                attended, attention_masks = self.rel2att(image_seq, query_seq, token_mask)
+                attended, attention_masks = self.rel2att(
+                    image_seq, query_seq, token_mask, clause_masks)
             # Reconstruct the attended feature map M~ (B, d, gh, gw).
             batch = attended.shape[0]
             feature_map = attended.transpose(0, 2, 1).reshape(
@@ -168,7 +170,8 @@ class YolloModel(Module):
         return YolloOutput(cls_logits, reg_offsets, attention_masks)
 
     def _predict_arrays(self, images: np.ndarray, token_ids: np.ndarray,
-                        token_mask: Optional[np.ndarray]):
+                        token_mask: Optional[np.ndarray],
+                        clause_masks: Optional[np.ndarray] = None):
         """Shared inference pass for :meth:`predict`/:meth:`predict_ranked`.
 
         Returns ``(probs, offsets, last_mask)`` as plain arrays, with
@@ -176,14 +179,21 @@ class YolloModel(Module):
         practice): an anchor hanging off the image decodes to a clipped
         sliver, and its classification score is weakly supervised, so
         letting it win produces degenerate boxes.
+
+        Clause-conditioned batches (``clause_masks`` not ``None``) always
+        run eager: compiled plans are traced over the three-argument
+        forward, and clause masks vary per query in ways a shape-keyed
+        plan cache cannot capture.
         """
         was_training = self.training
         self.eval()
         with no_grad():
-            if getattr(self, "_plan_cache", None) is not None:
+            if clause_masks is None \
+                    and getattr(self, "_plan_cache", None) is not None:
                 output = self._compiled_forward(images, token_ids, token_mask)
             else:
-                output = self.forward(Tensor(images), token_ids, token_mask)
+                output = self.forward(Tensor(images), token_ids, token_mask,
+                                      clause_masks)
             with trace_span("yollo.decode"):
                 probs = softmax(output.cls_logits, axis=-1).data[..., 1]  # (B, A)
                 offsets = output.reg_offsets.data
@@ -204,14 +214,16 @@ class YolloModel(Module):
         return probs, offsets, last_mask
 
     def predict(self, images: np.ndarray, token_ids: np.ndarray,
-                token_mask: Optional[np.ndarray] = None) -> List[GroundingPrediction]:
+                token_mask: Optional[np.ndarray] = None,
+                clause_masks: Optional[np.ndarray] = None,
+                ) -> List[GroundingPrediction]:
         """Run inference and decode the top-1 box per sample.
 
         Cross-boundary anchors are excluded from the top-1 choice; see
         :meth:`_predict_arrays`.
         """
         probs, offsets, last_mask = self._predict_arrays(
-            images, token_ids, token_mask)
+            images, token_ids, token_mask, clause_masks)
         anchors = self.anchor_grid.all_anchors()
         grid_h, grid_w = self.encoder.grid_h, self.encoder.grid_w
         predictions: List[GroundingPrediction] = []
@@ -233,7 +245,9 @@ class YolloModel(Module):
                        token_mask: Optional[np.ndarray] = None,
                        top_k: int = 5,
                        not_found_threshold: float = 0.0,
-                       nms_iou: float = 0.6) -> List[GroundingResponse]:
+                       nms_iou: float = 0.6,
+                       clause_masks: Optional[np.ndarray] = None,
+                       ) -> List[GroundingResponse]:
         """Decode a ranked answer list per sample (the scenario protocol).
 
         Every in-bounds anchor is decoded, greedily NMS-suppressed at
@@ -246,7 +260,8 @@ class YolloModel(Module):
         """
         if top_k < 1:
             raise ValueError("top_k must be at least 1")
-        probs, offsets, _ = self._predict_arrays(images, token_ids, token_mask)
+        probs, offsets, _ = self._predict_arrays(
+            images, token_ids, token_mask, clause_masks)
         anchors = self.anchor_grid.all_anchors()
         responses: List[GroundingResponse] = []
         for b in range(probs.shape[0]):

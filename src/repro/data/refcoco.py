@@ -243,6 +243,7 @@ def dataset_statistics(dataset: GroundingDataset) -> Dict[str, object]:
             "queries": len(split_samples),
             "query_type_mix": _query_type_mix(split_samples),
             "query_length_histogram": _length_histogram(split_samples),
+            "clause_depth_histogram": _clause_depth_histogram(split_samples),
         }
         for split, split_samples in dataset.splits.items()
     }
@@ -269,3 +270,23 @@ def _length_histogram(samples: Sequence[GroundingSample]) -> Dict[int, int]:
         [len(s.tokens) for s in samples], return_counts=True)
     return {int(length): int(count)
             for length, count in zip(lengths, counts)}
+
+
+def _clause_depth_histogram(
+    samples: Sequence[GroundingSample],
+) -> Dict[int, int]:
+    """Parse-depth histogram: relation-chain depth -> number of queries.
+
+    Depth 0 covers bare attribute references (and unparseable queries,
+    whose trivial trees have no clauses); depth 1 a single relational
+    clause; 2+ nested chains.  Lazy import keeps :mod:`repro.data`
+    importable without pulling the parser in for plain datasets.
+    """
+    if not samples:
+        return {}
+    from repro.lang import parse
+
+    depths, counts = np.unique(
+        [parse(s.query).depth() for s in samples], return_counts=True)
+    return {int(depth): int(count)
+            for depth, count in zip(depths, counts)}

@@ -7,10 +7,12 @@ from repro.eval.metrics import (
     accuracy_sweep,
     calibrate_not_found_threshold,
     evaluate_grounder,
+    group_by_clause_depth,
     mean_iou,
     no_target_report,
     pairwise_ious,
     recall_at_k,
+    recall_by_clause_depth,
 )
 from repro.eval.timing import (
     EagerCompiledComparison,
@@ -32,6 +34,8 @@ __all__ = [
     "recall_at_k",
     "NoTargetReport",
     "no_target_report",
+    "group_by_clause_depth",
+    "recall_by_clause_depth",
     "calibrate_not_found_threshold",
     "time_grounder",
     "summarize_latencies",

@@ -149,6 +149,45 @@ def recall_at_k(ranked_boxes: Sequence[np.ndarray],
     return hits / scored if scored else 0.0
 
 
+def group_by_clause_depth(queries: Sequence[str]) -> Dict[int, List[int]]:
+    """Sample indices grouped by the parse tree's relation-chain depth.
+
+    Depth comes from :meth:`repro.lang.RelationTree.depth`: 0 for a bare
+    attribute reference, 1 for one relational clause, 2+ for nested
+    chains.  Unparseable queries land in the depth-0 group (a trivial
+    tree has no clauses).
+    """
+    from repro.lang import parse
+
+    groups: Dict[int, List[int]] = {}
+    for index, query in enumerate(queries):
+        groups.setdefault(parse(query).depth(), []).append(index)
+    return dict(sorted(groups.items()))
+
+
+def recall_by_clause_depth(ranked_boxes: Sequence[np.ndarray],
+                           target_boxes: Sequence[np.ndarray],
+                           queries: Sequence[str],
+                           k: int = 1,
+                           iou_threshold: float = 0.5,
+                           ) -> Dict[int, float]:
+    """Per-clause-depth recall@k — the Table 2b depth breakdown.
+
+    Groups queries by parse depth and scores each group with
+    :func:`recall_at_k`; a query's grounding difficulty should grow
+    with its relational depth, and this is where that shows up.
+    """
+    if not (len(ranked_boxes) == len(target_boxes) == len(queries)):
+        raise ValueError("ranked_boxes, target_boxes and queries "
+                         "must align one-to-one")
+    return {
+        depth: recall_at_k([ranked_boxes[i] for i in indices],
+                           [target_boxes[i] for i in indices],
+                           k=k, iou_threshold=iou_threshold)
+        for depth, indices in group_by_clause_depth(queries).items()
+    }
+
+
 @dataclass(frozen=True)
 class NoTargetReport:
     """Detection quality of the ``not_found`` decision.

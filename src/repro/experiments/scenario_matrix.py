@@ -24,7 +24,12 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.eval import format_table, no_target_report, recall_at_k
+from repro.eval import (
+    format_table,
+    no_target_report,
+    recall_at_k,
+    recall_by_clause_depth,
+)
 from repro.experiments.context import ExperimentContext
 from repro.scenarios import (
     ScenarioSample,
@@ -74,6 +79,26 @@ def score_rows(samples: Sequence[ScenarioSample]) -> Dict[str, Dict[str, float]]
     }
 
 
+def depth_rows(samples: Sequence[ScenarioSample],
+               ) -> Dict[str, Dict[int, float]]:
+    """Per-clause-depth recall@1 for the oracle and baseline rows.
+
+    The depth breakdown of Table 2b: compositional queries are grouped
+    by their parse tree's relation-chain depth, so the table shows how
+    accuracy degrades as relational nesting grows.
+    """
+    queries = [s.query for s in samples]
+    targets = [np.asarray(s.all_target_boxes).reshape(-1, 4)
+               for s in samples]
+    oracle_boxes = [ranked_answer(s)[0] for s in samples]
+    baseline_boxes = [_largest_first_ranking(s) for s in samples]
+    return {
+        "oracle": recall_by_clause_depth(oracle_boxes, targets, queries),
+        "largest-first": recall_by_clause_depth(baseline_boxes, targets,
+                                                queries),
+    }
+
+
 def collect(context: ExperimentContext) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Metric rows for every registered scenario."""
     return {
@@ -120,6 +145,8 @@ def run(context: ExperimentContext) -> str:
         rows,
         title="Table 2b: scenario workload matrix (ranked answers)",
     )
+    depth_table = _depth_breakdown_table(
+        context.scenario_dataset("compositional")["eval"])
     weak = weak_pointing_row(context)
     weak_table = format_table(
         ["Weak supervision", "pointing acc", "loss start", "loss end"],
@@ -127,7 +154,24 @@ def run(context: ExperimentContext) -> str:
           weak["first_loss"], weak["final_loss"]]],
         title="Weak scenario: pointing game (no boxes at train time)",
     )
-    return matrix + "\n\n" + weak_table
+    return matrix + "\n\n" + depth_table + "\n\n" + weak_table
+
+
+def _depth_breakdown_table(samples: Sequence[ScenarioSample]) -> str:
+    """Render the per-clause-depth recall@1 rows for one sample set."""
+    breakdown = depth_rows(samples)
+    depths = sorted({depth for per_grounder in breakdown.values()
+                     for depth in per_grounder})
+    rows = [
+        [grounder_name] + [per_depth.get(depth, float("nan"))
+                           for depth in depths]
+        for grounder_name, per_depth in breakdown.items()
+    ]
+    return format_table(
+        ["Grounder"] + [f"R@1 depth={depth}" for depth in depths],
+        rows,
+        title="Table 2b (cont.): compositional recall by clause depth",
+    )
 
 
 def run_scenario(context: ExperimentContext, name: str) -> str:
@@ -142,6 +186,9 @@ def run_scenario(context: ExperimentContext, name: str) -> str:
     mix = stats["query_type_mix"]
     lines.append("query mix: " + ", ".join(
         f"{kind}={fraction:.0%}" for kind, fraction in mix.items()))
+    depth_hist = stats["splits"]["eval"]["clause_depth_histogram"]
+    lines.append("clause depth: " + ", ".join(
+        f"depth {depth}: {count}" for depth, count in depth_hist.items()))
     rows = [
         [grounder_name, metrics["recall@1"], metrics["recall@5"],
          metrics["nt_precision"], metrics["nt_recall"], metrics["nt_f1"]]
@@ -149,6 +196,8 @@ def run_scenario(context: ExperimentContext, name: str) -> str:
     ]
     lines.append(format_table(
         ["Grounder", "R@1", "R@5", "NT-prec", "NT-rec", "NT-F1"], rows))
+    if name == "compositional":
+        lines.append(_depth_breakdown_table(dataset["eval"]))
     if name == "weak":
         weak = weak_pointing_row(context)
         lines.append(

@@ -1,0 +1,122 @@
+"""Closed word classes of the referring-expression grammar.
+
+One place for every word the scenario generators can emit — attribute
+classes from the base grammar (:mod:`repro.data.expressions`), the
+driving scenario's ego vocabulary, pronouns, and the multiword relation
+phrases — so the parser and the generators cannot drift apart.  The
+noun class is *open*: unknown words in head position parse as
+open-class nouns ("the hat he is wearing"), they just carry no scene
+category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.data.expressions import LOCATION_WORDS
+from repro.data.scenes import CATEGORIES, COLORS
+
+#: Surface noun -> canonical scene category.  Covers the base
+#: categories, the driving scenario's spoken forms, and plurals.
+NOUN_TO_CATEGORY: Dict[str, str] = {category: category
+                                    for category in CATEGORIES}
+NOUN_TO_CATEGORY.update({"pedestrian": "person", "truck": "truck",
+                         "cone": "cone"})
+
+#: Plural surface noun -> canonical category (always category + "s" in
+#: the generators: "all the red cars", "persons").
+PLURAL_NOUN_TO_CATEGORY: Dict[str, str] = {
+    noun + "s": category for noun, category in NOUN_TO_CATEGORY.items()
+}
+PLURAL_NOUN_TO_CATEGORY["people"] = "person"
+
+COLOR_WORDS = frozenset(COLORS)
+SIZE_WORDS = frozenset({"big", "large", "small", "little"})
+LOCATION_ATTRIBUTE_WORDS = frozenset(LOCATION_WORDS)
+
+#: Ordinal distance words (driving grammar), mapped to 1-based ranks.
+ORDINAL_WORDS: Dict[str, int] = {
+    "first": 1, "nearest": 1, "closest": 1,
+    "second": 2, "third": 3, "fourth": 4,
+}
+
+DETERMINERS = frozenset({"the", "a", "an"})
+QUANTIFIERS = frozenset({"all"})
+NEGATIONS = frozenset({"not"})
+CONJUNCTIONS = frozenset({"and"})
+
+PRONOUNS = frozenset({"it", "he", "she", "they",
+                      "him", "her", "them", "one"})
+#: Pronouns whose antecedent must be a person.
+PERSON_PRONOUNS = frozenset({"he", "she", "him", "her"})
+#: Pronouns that prefer a plural antecedent.
+PLURAL_PRONOUNS = frozenset({"they", "them"})
+
+#: Words that introduce a relative clause before its relation phrase.
+RELATIVIZER_SEQUENCES: Tuple[Tuple[str, ...], ...] = (
+    ("that", "is", "standing"),
+    ("that", "is"),
+    ("that", "are"),
+    ("which", "is"),
+    ("which", "are"),
+    ("who", "is"),
+    ("standing",),
+)
+
+#: Multiword relation phrases -> canonical relation names (longest
+#: match first at parse time).
+RELATION_SEQUENCES: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("to", "the", "left", "of"), "left of"),
+    (("to", "the", "right", "of"), "right of"),
+    (("in", "front", "of"), "in front of"),
+    (("left", "of"), "left of"),
+    (("right", "of"), "right of"),
+    (("next", "to"), "next to"),
+    (("above",), "above"),
+    (("below",), "below"),
+    (("behind",), "behind"),
+    (("past",), "past"),
+    (("before",), "before"),
+)
+
+#: Ego-anchored side phrases (driving grammar) -> side name.
+SIDE_SEQUENCES: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("to", "my", "left"), "left"),
+    (("on", "my", "left"), "left"),
+    (("to", "my", "right"), "right"),
+    (("on", "my", "right"), "right"),
+)
+
+#: Scene-level filler phrases the long grammar appends; they carry no
+#: constraint and lower to filler segments.
+FILLER_SEQUENCES: Tuple[Tuple[str, ...], ...] = (
+    ("that", "is", "shown", "in", "the", "image"),
+    ("shown", "in", "the", "image"),
+    ("in", "the", "picture"),
+    ("in", "the", "image"),
+    ("in", "the", "scene"),
+)
+
+#: Existential sentence openers ("there is the red dog in the scene").
+EXISTENTIAL_SEQUENCES: Tuple[Tuple[str, ...], ...] = (
+    ("there", "is"),
+    ("there", "are"),
+)
+
+
+def noun_category(word: str) -> Optional[Tuple[str, bool]]:
+    """``(canonical category, plural)`` for a known noun, else ``None``."""
+    if word in NOUN_TO_CATEGORY:
+        return NOUN_TO_CATEGORY[word], False
+    if word in PLURAL_NOUN_TO_CATEGORY:
+        return PLURAL_NOUN_TO_CATEGORY[word], True
+    return None
+
+
+def is_function_word(word: str) -> bool:
+    """Words that can never head an open-class noun phrase."""
+    return (word in DETERMINERS or word in QUANTIFIERS
+            or word in NEGATIONS or word in CONJUNCTIONS
+            or word in PRONOUNS
+            or word in {"is", "are", "that", "which", "who", "there",
+                        "of", "to", "on", "in", "my", "side", "and"})

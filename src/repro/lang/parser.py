@@ -1,0 +1,513 @@
+"""Deterministic recursive-descent parser for referring expressions.
+
+Covers the full grammar the scenario generators emit — the short/long
+base templates (:mod:`repro.data.expressions`), the driving scenario's
+ego-relative selectors, the crowded scenario's quantified and no-target
+forms — plus conjunction ("the red car and the blue dog"), negation
+("the car that is not red"), nested relative clauses ("the dog next to
+the car that is left of the lamp"), and cross-sentence anaphora ("a man
+in a red shirt . the hat he is wearing").
+
+``parse`` never raises on free-form input: anything outside the grammar
+lowers to ``unparsed`` segments, and a query with no recognisable
+referent yields a *trivial* tree the attention compiler falls back to
+flat tokens for.  Every consumed token lands in exactly one segment, so
+``tree.token_sequence() == tokenize(query)`` for every input — the
+round-trip invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang import lexicon
+from repro.lang.tree import (
+    Attribute,
+    EntityPhrase,
+    RelationClause,
+    RelationTree,
+)
+from repro.text.tokenizer import (
+    PUNCTUATION,
+    SENTENCE_BREAKS,
+    _POSSESSIVE_PATTERN,
+    _TOKEN_PATTERN,
+    lex,
+)
+
+#: Open-class nouns that count as persons for pronoun agreement.
+HUMAN_NOUNS = frozenset({"man", "woman", "boy", "girl", "guy", "lady",
+                         "child", "person", "men", "women", "people"})
+
+#: Copular verb forms inside relative clauses.
+_COPULAS = frozenset({"is", "are", "was", "were"})
+
+#: Prepositions that attach a plain NP as a clause ("a man in a red
+#: shirt").
+_ATTACHMENTS = frozenset({"in", "on", "with"})
+
+#: Open-class participles accepted directly after a head ("the man
+#: wearing a red shirt").
+_PARTICIPLES = frozenset({"wearing", "holding", "carrying", "riding"})
+
+
+def _word_stream(query: str) -> Tuple[List[str], List[int]]:
+    """Tokens plus per-token sentence ids, aligned with ``tokenize``."""
+    words: List[str] = []
+    sentences: List[int] = []
+    sentence = 0
+    for lexeme in lex(query):
+        if lexeme in SENTENCE_BREAKS:
+            if sentences and sentences[-1] == sentence:
+                sentence += 1
+            continue
+        if lexeme in PUNCTUATION or lexeme[0] in "'’":
+            continue
+        for sub in _TOKEN_PATTERN.findall(
+                _POSSESSIVE_PATTERN.sub("", lexeme)):
+            words.append(sub)
+            sentences.append(sentence)
+    return words, sentences
+
+
+class _Parser:
+    """One parse over a fixed word stream (single use)."""
+
+    def __init__(self, query: str, words: List[str], sentences: List[int]):
+        self.query = query
+        self.words = words
+        self.sentences = sentences
+        self.pos = 0
+        self.limit = 0
+        self.entities: List[EntityPhrase] = []
+        self.clauses: List[RelationClause] = []
+        self.segments: List[Tuple[str, Tuple[int, int]]] = []
+
+    # ------------------------------------------------------------------
+    # Stream helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[str]:
+        index = self.pos + offset
+        if index >= self.limit:
+            return None
+        return self.words[index]
+
+    def _match_sequence(self, sequence: Sequence[str]) -> bool:
+        end = self.pos + len(sequence)
+        return (end <= self.limit
+                and tuple(self.words[self.pos:end]) == tuple(sequence))
+
+    def _segment(self, label: str, start: int) -> None:
+        if self.pos > start:
+            self.segments.append((label, (start, self.pos)))
+
+    def _mark(self) -> Tuple[int, int, int, int]:
+        return (self.pos, len(self.entities), len(self.clauses),
+                len(self.segments))
+
+    def _reset(self, mark: Tuple[int, int, int, int]) -> None:
+        self.pos, n_ent, n_cls, n_seg = mark
+        del self.entities[n_ent:]
+        del self.clauses[n_cls:]
+        del self.segments[n_seg:]
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse(self) -> RelationTree:
+        principals: List[List[int]] = []
+        num_sentences = (max(self.sentences) + 1) if self.sentences else 1
+        for sentence in range(num_sentences):
+            span = [i for i, s in enumerate(self.sentences) if s == sentence]
+            if not span:
+                principals.append([])
+                continue
+            self.pos, self.limit = span[0], span[-1] + 1
+            principals.append(self._parse_sentence())
+
+        targets: List[int] = []
+        for sentence_targets in principals:
+            if sentence_targets:
+                targets = sentence_targets  # last sentence with a referent
+        self._resolve_pronouns()
+        segments = self._tiled_segments()
+        return RelationTree(
+            query=self.query, tokens=list(self.words),
+            entities=self.entities, clauses=self.clauses,
+            targets=targets, segments=segments,
+            num_sentences=num_sentences,
+        )
+
+    def _parse_sentence(self) -> List[int]:
+        start = self.pos
+        for opener in lexicon.EXISTENTIAL_SEQUENCES:
+            if self._match_sequence(opener):
+                self.pos += len(opener)
+                self._segment("filler", start)
+                break
+        principal = self._parse_np()
+        found: List[int] = [] if principal is None else [principal]
+        while found and self._peek() in lexicon.CONJUNCTIONS:
+            mark = self._mark()
+            self.pos += 1
+            self._segment("conj", mark[0])
+            conjunct = self._parse_np()
+            if conjunct is None:
+                self._reset(mark)
+                break
+            found.append(conjunct)
+        leftover = self.pos
+        self.pos = self.limit
+        self._segment("unparsed", leftover)
+        return found
+
+    # ------------------------------------------------------------------
+    # Noun phrases
+    # ------------------------------------------------------------------
+    def _parse_np(self, with_postmods: bool = True) -> Optional[int]:
+        mark = self._mark()
+        start = self.pos
+        sentence = self.sentences[start] if start < len(self.sentences) else 0
+
+        quantified = False
+        saw_determiner = False
+        if self._peek() in lexicon.QUANTIFIERS:
+            quantified = True
+            self.pos += 1
+        if self._peek() in lexicon.DETERMINERS:
+            saw_determiner = True
+            self.pos += 1
+
+        word = self._peek()
+        if word in lexicon.PRONOUNS and not quantified:
+            self.pos += 1
+            entity = EntityPhrase(head=None, category=None,
+                                  span=(start, self.pos), pronoun=word,
+                                  sentence=sentence)
+            self.entities.append(entity)
+            self._segment("entity", start)
+            if with_postmods:
+                self._parse_postmods(len(self.entities) - 1)
+            return len(self.entities) - 1
+
+        attributes: List[Attribute] = []
+        while True:
+            word = self._peek()
+            if word is None:
+                break
+            if word in lexicon.ORDINAL_WORDS \
+                    and not any(a.kind == "ordinal" for a in attributes):
+                attributes.append(Attribute(
+                    "ordinal", str(lexicon.ORDINAL_WORDS[word])))
+            elif word in lexicon.SIZE_WORDS:
+                attributes.append(Attribute("size", word))
+            elif word in lexicon.COLOR_WORDS:
+                attributes.append(Attribute("color", word))
+            elif word in lexicon.LOCATION_ATTRIBUTE_WORDS:
+                attributes.append(Attribute("location", word))
+            else:
+                break
+            self.pos += 1
+
+        head = self._peek()
+        category: Optional[str] = None
+        plural = False
+        if head is not None:
+            known = lexicon.noun_category(head)
+            if known is not None:
+                category, plural = known
+                self.pos += 1
+            elif not lexicon.is_function_word(head) \
+                    and (saw_determiner or quantified or attributes):
+                # Open-class noun outside the scene vocabulary.
+                self.pos += 1
+            else:
+                head = None
+        if head is None and not attributes:
+            self._reset(mark)
+            return None
+
+        entity = EntityPhrase(
+            head=head, category=category, span=(start, self.pos),
+            attributes=attributes, plural=plural,
+            quantified_all=quantified, sentence=sentence,
+        )
+        self.entities.append(entity)
+        index = len(self.entities) - 1
+        self._segment("entity", start)
+        if with_postmods:
+            self._parse_postmods(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Post-modifiers
+    # ------------------------------------------------------------------
+    def _parse_postmods(self, index: int) -> None:
+        while self.pos < self.limit:
+            if self._parse_filler():
+                continue
+            if self._parse_plain_location(index):
+                continue
+            if self._parse_relative_clause(index):
+                continue
+            if self._parse_side_phrase(index):
+                continue
+            if self._parse_relation_clause(index, negated=False):
+                continue
+            if self._parse_gap_relative(index):
+                continue
+            if self._parse_attachment(index):
+                continue
+            break
+
+    def _parse_filler(self) -> bool:
+        start = self.pos
+        for sequence in lexicon.FILLER_SEQUENCES:
+            if self._match_sequence(sequence):
+                self.pos += len(sequence)
+                self._segment("filler", start)
+                return True
+        return False
+
+    def _parse_plain_location(self, index: int) -> bool:
+        """``on the LOC`` plus the long grammar's optional trailers."""
+        start = self.pos
+        if self._peek() != "on" or self._peek(1) != "the":
+            return False
+        word = self._peek(2)
+        if word not in lexicon.LOCATION_ATTRIBUTE_WORDS:
+            return False
+        self.pos += 3
+        for trailer in (("side", "of", "the", "picture"),
+                        ("side", "of", "the", "image"),
+                        ("of", "the", "image"),
+                        ("of", "the", "picture")):
+            if self._match_sequence(trailer):
+                self.pos += len(trailer)
+                break
+        self.entities[index].attributes.append(Attribute("location", word))
+        self._segment("location", start)
+        return True
+
+    def _parse_relative_clause(self, index: int) -> bool:
+        """``that is ...`` — negated attribute, location, or relation."""
+        mark = self._mark()
+        start = self.pos
+        for relativizer in lexicon.RELATIVIZER_SEQUENCES:
+            if self._match_sequence(relativizer):
+                self.pos += len(relativizer)
+                break
+        else:
+            return False
+        self._segment("relativizer", start)
+
+        negated = False
+        if self._peek() in lexicon.NEGATIONS:
+            negation_start = self.pos
+            self.pos += 1
+            self._segment("negation", negation_start)
+            negated = True
+            word = self._peek()
+            if word in lexicon.COLOR_WORDS:
+                self.pos += 1
+                self._segment("attribute", self.pos - 1)
+                self.entities[index].attributes.append(
+                    Attribute("color", word, negated=True))
+                return True
+
+        if not negated and self._parse_plain_location(index):
+            return True
+        if self._parse_relation_clause(index, negated=negated):
+            return True
+        if not negated and self._parse_participle_clause(index):
+            return True
+        self._reset(mark)
+        return False
+
+    def _parse_relation_clause(self, index: int, negated: bool) -> bool:
+        mark = self._mark()
+        start = self.pos
+        for sequence, relation in lexicon.RELATION_SEQUENCES:
+            if self._match_sequence(sequence):
+                self.pos += len(sequence)
+                break
+        else:
+            return False
+        relation_span = (start, self.pos)
+        self._segment("relation", start)
+        anchor = self._parse_np()
+        if anchor is None:
+            self._reset(mark)
+            return False
+        self.clauses.append(RelationClause(
+            relation=relation, target=index, anchor=anchor,
+            negated=negated, span=relation_span))
+        return True
+
+    def _parse_side_phrase(self, index: int) -> bool:
+        start = self.pos
+        for sequence, side in lexicon.SIDE_SEQUENCES:
+            if self._match_sequence(sequence):
+                self.pos += len(sequence)
+                self._segment("relation", start)
+                self.clauses.append(RelationClause(
+                    relation=f"side:{side}", target=index, anchor=None,
+                    span=(start, self.pos)))
+                return True
+        return False
+
+    def _parse_gap_relative(self, index: int) -> bool:
+        """Reduced object relative: ``the hat he is wearing``."""
+        word = self._peek()
+        if word not in lexicon.PRONOUNS:
+            return False
+        if self._peek(1) not in _COPULAS:
+            return False
+        verb = self._peek(2)
+        if verb is None or not verb.endswith("ing"):
+            return False
+        start = self.pos
+        sentence = self.sentences[start]
+        self.pos += 1
+        self.entities.append(EntityPhrase(
+            head=None, category=None, span=(start, self.pos),
+            pronoun=word, sentence=sentence))
+        self._segment("entity", start)
+        verb_start = self.pos
+        self.pos += 2
+        self._segment("relation", verb_start)
+        self.clauses.append(RelationClause(
+            relation=verb, target=index,
+            anchor=len(self.entities) - 1,
+            span=(verb_start, self.pos)))
+        return True
+
+    def _parse_participle_clause(self, index: int) -> bool:
+        """``that is wearing a red hat`` / bare ``wearing ...``."""
+        verb = self._peek()
+        if verb is None or not verb.endswith("ing") \
+                or verb in lexicon.NOUN_TO_CATEGORY:
+            return False
+        mark = self._mark()
+        start = self.pos
+        self.pos += 1
+        self._segment("relation", start)
+        anchor = self._parse_np()
+        if anchor is None:
+            self._reset(mark)
+            return False
+        self.clauses.append(RelationClause(
+            relation=verb, target=index, anchor=anchor,
+            span=(start, start + 1)))
+        return True
+
+    def _parse_attachment(self, index: int) -> bool:
+        """Prepositional attachment: ``a man in a red shirt``."""
+        word = self._peek()
+        if word in _PARTICIPLES:
+            return self._parse_participle_clause(index)
+        if word not in _ATTACHMENTS:
+            return False
+        if self._peek(1) not in lexicon.DETERMINERS:
+            return False
+        mark = self._mark()
+        start = self.pos
+        self.pos += 1
+        self._segment("relation", start)
+        anchor = self._parse_np()
+        if anchor is None:
+            self._reset(mark)
+            return False
+        self.clauses.append(RelationClause(
+            relation=word, target=index, anchor=anchor,
+            span=(start, start + 1)))
+        return True
+
+    # ------------------------------------------------------------------
+    # Anaphora
+    # ------------------------------------------------------------------
+    def _resolve_pronouns(self) -> None:
+        for index, entity in enumerate(self.entities):
+            if entity.pronoun is None:
+                continue
+            entity.antecedent = self._find_antecedent(index, entity)
+
+    def _antecedent_agrees(self, pronoun: str,
+                           candidate: EntityPhrase) -> bool:
+        is_person = (candidate.category == "person"
+                     or (candidate.head or "") in HUMAN_NOUNS)
+        if pronoun in lexicon.PERSON_PRONOUNS:
+            return is_person
+        if pronoun in lexicon.PLURAL_PRONOUNS:
+            return candidate.plural or candidate.quantified_all
+        if pronoun == "it":
+            return not is_person
+        return True
+
+    def _find_antecedent(self, index: int,
+                         entity: EntityPhrase) -> Optional[int]:
+        candidates = [
+            (j, other) for j, other in enumerate(self.entities)
+            if j != index and other.pronoun is None
+            and other.head is not None
+            and other.span[0] < entity.span[0]
+        ]
+        if not candidates:
+            return None
+        # Prefer: earlier sentence + agreement > earlier sentence >
+        # same sentence + agreement > most recent mention.
+        pools = (
+            [c for c in candidates if c[1].sentence < entity.sentence
+             and self._antecedent_agrees(entity.pronoun, c[1])],
+            [c for c in candidates if c[1].sentence < entity.sentence],
+            [c for c in candidates
+             if self._antecedent_agrees(entity.pronoun, c[1])],
+            candidates,
+        )
+        for pool in pools:
+            if pool:
+                return max(pool, key=lambda c: c[1].span[0])[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    def _tiled_segments(self) -> List[Tuple[str, Tuple[int, int]]]:
+        """Order segments and fill any gaps so they tile the range."""
+        ordered = sorted(self.segments, key=lambda seg: seg[1][0])
+        tiled: List[Tuple[str, Tuple[int, int]]] = []
+        cursor = 0
+        for label, (start, end) in ordered:
+            if start < cursor:  # defensive: never emit overlaps
+                start = cursor
+                if start >= end:
+                    continue
+            if start > cursor:
+                tiled.append(("unparsed", (cursor, start)))
+            tiled.append((label, (start, end)))
+            cursor = end
+        if cursor < len(self.words):
+            tiled.append(("unparsed", (cursor, len(self.words))))
+        return tiled
+
+
+def parse(query: str) -> RelationTree:
+    """Parse a referring expression into a :class:`RelationTree`.
+
+    Never raises on arbitrary input: out-of-grammar material lowers to
+    ``unparsed`` segments, and a query with no recognisable referent
+    yields a trivial tree (``tree.is_trivial``), which downstream
+    consumers treat as "fall back to flat tokens".
+    """
+    words, sentences = _word_stream(query)
+    parser = _Parser(query, words, sentences)
+    try:
+        return parser.parse()
+    except Exception:
+        # A parser bug must never take down serving or evaluation;
+        # degrade to the flat-token reading instead.
+        return RelationTree(
+            query=query, tokens=words,
+            segments=[("unparsed", (0, len(words)))] if words else [],
+            num_sentences=(max(sentences) + 1) if sentences else 1,
+        )

@@ -1,0 +1,202 @@
+"""Compositional semantics: interpret relation trees against scenes.
+
+``resolve_tree`` evaluates a parsed query on a
+:class:`~repro.data.scenes.Scene`, mirroring the verified-uniqueness
+semantics of the expression generators (:mod:`repro.data.expressions`
+for attributes and directional relations, :mod:`repro.scenarios.driving`
+for the ego-anchored side/ordinal/depth selectors) — but driven by the
+*tree*, so nested relative clauses, negated attributes, conjunctions
+and resolved anaphora compose.  The compositional scenario generates a
+candidate query, parses it with the real parser, and only emits it when
+this interpreter confirms the intended referents: ground truth is
+correct by construction *through the parser*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.expressions import (
+    _SIZE_RATIO,
+    describe_location,
+    relation_between,
+)
+from repro.data.scenes import Scene, SceneObject
+from repro.lang.tree import EntityPhrase, RelationTree
+
+#: Directional relations with scene-level semantics.
+_DIRECTIONAL = {"left of", "right of", "above", "below", "next to"}
+
+
+class UnsupportedRelationError(ValueError):
+    """The tree uses a relation with no scene-level semantics."""
+
+
+def resolve_tree(tree: RelationTree, scene: Scene) -> List[SceneObject]:
+    """Objects denoted by the tree's targets (empty = no referent).
+
+    Raises :class:`UnsupportedRelationError` for relations the scene
+    model cannot interpret (open-class verbs, attachments), so callers
+    can reject rather than silently mis-ground.
+    """
+    resolved: List[SceneObject] = []
+    for target in tree.targets:
+        for obj in _resolve_entity(tree, scene, target, ()):
+            if all(o is not obj for o in resolved):
+                resolved.append(obj)
+    return resolved
+
+
+def _resolve_entity(tree: RelationTree, scene: Scene, index: int,
+                    visiting: tuple) -> List[SceneObject]:
+    if index in visiting:
+        return []
+    entity = tree.entities[index]
+    if entity.pronoun is not None:
+        if entity.antecedent is None:
+            return []
+        return _resolve_entity(tree, scene, entity.antecedent,
+                               visiting + (index,))
+    if entity.category is None:
+        return []
+    candidates = [o for o in scene.objects if o.category == entity.category]
+    candidates = _apply_attributes(entity, candidates, scene)
+    for clause in tree.clauses_of(index):
+        if not candidates:
+            break
+        candidates = _apply_clause(tree, scene, clause, candidates,
+                                   visiting + (index,))
+    if not entity.plural and not entity.quantified_all:
+        return candidates if len(candidates) == 1 else []
+    # Plural reference: every match, ranked large-to-small (the crowded
+    # scenario's deterministic answer order).
+    if not candidates:
+        return []
+    areas = np.asarray([o.area for o in candidates])
+    return [candidates[i] for i in np.argsort(-areas)]
+
+
+def _apply_attributes(entity: EntityPhrase,
+                      candidates: List[SceneObject],
+                      scene: Scene) -> List[SceneObject]:
+    for attribute in entity.attributes:
+        if not candidates:
+            return []
+        if attribute.kind == "color":
+            if attribute.negated:
+                candidates = [o for o in candidates
+                              if o.color != attribute.value]
+            else:
+                candidates = [o for o in candidates
+                              if o.color == attribute.value]
+        elif attribute.kind == "size":
+            candidates = _apply_size(attribute.value, candidates)
+        elif attribute.kind == "location":
+            candidates = [o for o in candidates
+                          if describe_location(o, candidates)
+                          == attribute.value]
+        elif attribute.kind == "ordinal":
+            candidates = _apply_ordinal(int(attribute.value), candidates,
+                                        scene)
+    return candidates
+
+
+def _apply_size(word: str, candidates: List[SceneObject],
+                ) -> List[SceneObject]:
+    """Area-superlative semantics, as in ``Constraints._apply_size``."""
+    if len(candidates) == 1:
+        return candidates
+    wants_big = word in ("big", "large")
+    areas = np.asarray([o.area for o in candidates])
+    ordered = np.sort(areas)
+    if wants_big:
+        if ordered[-1] < ordered[-2] * _SIZE_RATIO:
+            return []
+        return [candidates[int(areas.argmax())]]
+    if ordered[0] * _SIZE_RATIO > ordered[1]:
+        return []
+    return [candidates[int(areas.argmin())]]
+
+
+def _apply_ordinal(rank: int, candidates: List[SceneObject],
+                   scene: Scene) -> List[SceneObject]:
+    """Ego-distance ordinal (driving grammar), gap rule included."""
+    from repro.scenarios.driving import _ORDINAL_GAP, ego_distance
+
+    index = rank - 1
+    if index < 0 or index >= len(candidates):
+        return []
+    distances = np.asarray([ego_distance(o, scene) for o in candidates])
+    order = np.argsort(distances)
+    ordered = distances[order]
+    if index > 0 and ordered[index] - ordered[index - 1] < _ORDINAL_GAP:
+        return []
+    if index + 1 < len(ordered) \
+            and ordered[index + 1] - ordered[index] < _ORDINAL_GAP:
+        return []
+    return [candidates[int(order[index])]]
+
+
+def _apply_clause(tree: RelationTree, scene: Scene, clause,
+                  candidates: List[SceneObject],
+                  visiting: tuple) -> List[SceneObject]:
+    if clause.relation.startswith("side:"):
+        from repro.scenarios.driving import ego_side
+
+        side = clause.relation.split(":", 1)[1]
+        kept = [o for o in candidates if ego_side(o, scene) == side]
+        if clause.negated:
+            kept = [o for o in candidates
+                    if all(o is not k for k in kept)]
+        return kept
+
+    if clause.anchor is None:
+        raise UnsupportedRelationError(
+            f"relation {clause.relation!r} needs an anchor")
+    anchors = _resolve_entity(tree, scene, clause.anchor, visiting)
+    if len(anchors) != 1:
+        return []
+    anchor = anchors[0]
+
+    if clause.relation in ("past", "before"):
+        return _apply_depth(clause.relation, candidates, anchor, scene)
+    if clause.relation not in _DIRECTIONAL:
+        raise UnsupportedRelationError(
+            f"no scene semantics for relation {clause.relation!r}")
+
+    canonical = clause.relation
+    satisfying = [o for o in candidates if o is not anchor
+                  and relation_between(o, anchor) == canonical]
+    if clause.negated:
+        return [o for o in candidates if o is not anchor
+                and all(o is not s for s in satisfying)]
+    if not satisfying:
+        return []
+    # Nearest satisfier wins — the base grammar's disambiguation rule.
+    distances = [np.hypot(o.center[0] - anchor.center[0],
+                          o.center[1] - anchor.center[1])
+                 for o in satisfying]
+    return [satisfying[int(np.argmin(distances))]]
+
+
+def _apply_depth(relation: str, candidates: List[SceneObject],
+                 anchor: SceneObject, scene: Scene) -> List[SceneObject]:
+    """``past``/``before`` ego-depth semantics (driving grammar)."""
+    from repro.scenarios.driving import _DEPTH_MARGIN, ego_distance
+
+    anchor_dist = ego_distance(anchor, scene)
+    if relation == "past":
+        kept = [o for o in candidates if o is not anchor
+                and ego_distance(o, scene) > anchor_dist + _DEPTH_MARGIN]
+    else:
+        kept = [o for o in candidates if o is not anchor
+                and ego_distance(o, scene) < anchor_dist - _DEPTH_MARGIN]
+    if not kept:
+        return []
+    gaps = [abs(ego_distance(o, scene) - anchor_dist) for o in kept]
+    order = np.argsort(gaps)
+    if len(kept) > 1 and gaps[order[1]] - gaps[order[0]] < _DEPTH_MARGIN:
+        return []
+    return [kept[int(order[0])]]

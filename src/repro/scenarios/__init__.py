@@ -9,6 +9,9 @@ Importing this package registers the three scenario families —
   :class:`~repro.core.GroundingResponse` protocol end to end;
 * ``weak``     — image-level pairing supervision only: contrastive
   two-tower training, pointing-game eval;
+* ``compositional`` — multi-sentence and multi-clause queries (anaphora,
+  nested relatives, negation, conjunction), generated and verified
+  through the :mod:`repro.lang` relation-tree parser;
 
 — plus one named *trace mix* per scenario and a combined ``mixed``
 blend, so serving harnesses (``serve-fleet --trace-mix``, the soak
@@ -37,6 +40,11 @@ from repro.scenarios.registry import (
 
 # Importing the scenario modules registers them.
 from repro.scenarios import crowded, driving, weak  # noqa: F401  (registration)
+from repro.scenarios import compositional  # noqa: F401  (registration)
+from repro.scenarios.compositional import (
+    build_compositional,
+    generate_compositional_scene,
+)
 from repro.scenarios.crowded import build_crowded, generate_crowded_scene
 from repro.scenarios.driving import (
     DrivingConstraints,
@@ -82,7 +90,9 @@ __all__ = [
     "build_driving",
     "build_crowded",
     "build_weak",
+    "build_compositional",
     "generate_crowded_scene",
+    "generate_compositional_scene",
     "DrivingSceneGenerator",
     "DrivingExpressionGenerator",
     "DrivingConstraints",

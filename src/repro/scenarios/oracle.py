@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.response import GroundingResponse
 from repro.serve.cache import image_digest
+from repro.text.tokenizer import normalize_query
 
 from repro.scenarios.registry import RankedAnswer
 
@@ -45,7 +46,11 @@ class OracleRankedGrounder:
     def __init__(self, answers: Dict[Tuple[str, str], RankedAnswer],
                  latency: float = 0.002, version: float = 0.0,
                  bias: float = 1.0, threshold: float = 0.5):
-        self.answers = dict(answers)
+        # Keys are normalised the same way the serve front door
+        # normalises incoming queries, so a table built from raw sample
+        # text still matches the requests replicas actually see.
+        self.answers = {(digest, normalize_query(query)): answer
+                        for (digest, query), answer in answers.items()}
         self.latency = float(latency)
         self.version = float(version)
         self.bias = float(bias)
@@ -58,7 +63,8 @@ class OracleRankedGrounder:
         self.batches += 1
         responses = []
         for sample in samples:
-            key = (image_digest(sample.image), sample.query)
+            key = (image_digest(sample.image),
+                   normalize_query(sample.query))
             boxes, scores, not_found = self.answers.get(
                 key, (np.empty((0, 4)), np.empty((0,)), True))
             responses.append(GroundingResponse(

@@ -37,6 +37,7 @@ import numpy as np
 from repro.data.refcoco import GroundingSample
 from repro.serve.cache import image_digest
 from repro.serve.trace import TimedRequest
+from repro.text.tokenizer import normalize_query
 from repro.utils.seeding import spawn_rng
 
 #: (boxes (k, 4), scores (k,), not_found) — the oracle ground truth for
@@ -154,11 +155,14 @@ def answer_table(samples: Sequence[ScenarioSample],
                  ) -> Dict[Tuple[str, str], RankedAnswer]:
     """``(image_digest, query) -> ranked answer`` over ``samples``.
 
-    The same keying as both serving cache tiers, so an oracle replica
-    can answer any request drawn from these samples.
+    The same keying as both serving cache tiers — queries are
+    normalised exactly like the serve front door normalises incoming
+    requests, so an oracle replica can answer any request drawn from
+    these samples however the caller spelled it.
     """
     return {
-        (image_digest(sample.image), sample.query): ranked_answer(sample)
+        (image_digest(sample.image), normalize_query(sample.query)):
+            ranked_answer(sample)
         for sample in samples
     }
 

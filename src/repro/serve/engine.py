@@ -45,7 +45,7 @@ from repro.data.refcoco import GroundingSample
 from repro.obs import MetricsRegistry, trace_span
 from repro.serve.cache import LRUCache, image_digest
 from repro.serve.stats import ServerStats, StatsRecorder
-from repro.text.tokenizer import tokenize
+from repro.text.tokenizer import normalize_query, tokenize
 
 #: Queue sentinel that tells the worker to drain out.
 _SHUTDOWN = object()
@@ -247,7 +247,11 @@ class ServeEngine:
         """
         now = time.perf_counter()
         self._recorder.record_request()
-        key = (image_digest(image), str(query))
+        # Normalise once at the front door: whitespace/case/punctuation
+        # variants of the same query share one cache entry (and one
+        # model pass) in every tier downstream.
+        query = normalize_query(str(query))
+        key = (image_digest(image), query)
         with self._cache_lock:
             # Uncounted probe: the request's final outcome (hit, miss,
             # or dedup hit) is credited once, at completion time.

@@ -62,6 +62,7 @@ from repro.obs import MetricsRegistry
 from repro.runtime.retry import backoff_delay
 from repro.serve.cache import image_digest
 from repro.serve.shared_cache import SharedResponseCache
+from repro.text.tokenizer import normalize_query
 from repro.serve.replica import (
     ReplicaSpec,
     _replica_entry,
@@ -507,12 +508,16 @@ class FleetRouter:
         target = model
         if target is None and len(self.model_ids) == 1:
             target = self.model_ids[0]
+        # Normalise once at the front door, so whitespace/case variants
+        # of one query share a single entry in the router-tier cache AND
+        # (via the forwarded request) in every replica's engine cache.
+        query = normalize_query(str(query))
         self._m_submitted.inc()
         enqueued = self._now()
         key: Optional[Tuple[str, str, str]] = None
         epoch = 0
         if self._response_cache.capacity and target is not None:
-            key = (target, image_digest(image), str(query))
+            key = (target, image_digest(image), query)
             cached = self._response_cache.get(key)
             if cached is not None:
                 self._m_cache_hits.inc()
@@ -526,7 +531,7 @@ class FleetRouter:
             self._m_cache_misses.inc()
             epoch = self._response_cache.epoch
         req = _FleetRequest(
-            req_id=next(self._seq), image=image, query=str(query),
+            req_id=next(self._seq), image=image, query=query,
             deadline=float(deadline if deadline is not None
                            else self.config.default_deadline),
             future=future, enqueued=enqueued,

@@ -6,7 +6,7 @@ expression corpus and loaded into the query embedding layer, which is
 then fine-tuned jointly with the rest of YOLLO.
 """
 
-from repro.text.tokenizer import tokenize
+from repro.text.tokenizer import lex, normalize_query, tokenize
 from repro.text.vocab import Vocabulary
 from repro.text.position import learned_position_table, sinusoidal_position_table
 from repro.text.word2vec import SkipGramWord2Vec
@@ -14,6 +14,8 @@ from repro.text.corpus import build_corpus
 
 __all__ = [
     "tokenize",
+    "lex",
+    "normalize_query",
     "Vocabulary",
     "sinusoidal_position_table",
     "learned_position_table",

@@ -1,4 +1,4 @@
-"""Whitespace/punctuation tokenisation for referring expressions."""
+"""Whitespace/punctuation tokenisation and lossless lexing."""
 
 from __future__ import annotations
 
@@ -7,12 +7,72 @@ from typing import List
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
 
+#: Word-final possessive clitic ("man's", "driver's", curly apostrophe
+#: included).  Stripped before alphanumeric splitting so the clitic
+#: never surfaces as a stray ``s`` token polluting the vocabulary and
+#: the word2vec corpus.
+_POSSESSIVE_PATTERN = re.compile(r"(?<=[a-z0-9])['’]s\b")
+
+#: Lexeme grammar: words (internal hyphens kept, so "left-most" stays
+#: one lexeme), the possessive clitic as its own lexeme, and the
+#: punctuation marks that carry sentence/clause boundaries.
+_LEX_PATTERN = re.compile(
+    r"[a-z0-9]+(?:-[a-z0-9]+)*"
+    r"|['’]s"
+    r"|[.,;:!?]"
+)
+
+#: Lexemes that end a sentence in :func:`lex` output.
+SENTENCE_BREAKS = frozenset({".", "!", "?"})
+
+#: Every punctuation lexeme :func:`lex` can emit.
+PUNCTUATION = frozenset({".", ",", ";", ":", "!", "?"})
+
 
 def tokenize(text: str) -> List[str]:
     """Lower-case and split a query into alphanumeric tokens.
 
-    Punctuation is discarded; referring expressions in the benchmark
-    datasets are short noun phrases so this simple scheme is lossless
-    for our grammar and robust for free-form user queries.
+    Punctuation is discarded and word-final possessive clitics are
+    stripped (``"the man's hat"`` -> ``["the", "man", "hat"]``);
+    referring expressions in the benchmark datasets are short noun
+    phrases so this simple scheme is lossless for our grammar and
+    robust for free-form user queries.
     """
-    return _TOKEN_PATTERN.findall(text.lower())
+    return _TOKEN_PATTERN.findall(_POSSESSIVE_PATTERN.sub("", text.lower()))
+
+
+def lex(text: str) -> List[str]:
+    """Lower-cased lossless lexing for the structured-query parser.
+
+    Unlike :func:`tokenize`, punctuation marks and possessive clitics
+    survive as their own lexemes and hyphenated words stay whole, so
+    sentence boundaries ("a red car. the dog next to it") and clause
+    structure are recoverable downstream.  Characters outside the
+    lexeme grammar (emoji, accented letters) are dropped, matching the
+    tokenizer's ASCII-alphanumeric scope.
+    """
+    return _LEX_PATTERN.findall(text.lower())
+
+
+def normalize_query(query: str) -> str:
+    """Canonical serve-front-door form of a query string.
+
+    Lower-cases, collapses whitespace, normalises punctuation spacing,
+    and drops trailing punctuation, so ``"the red car"`` and
+    ``" The red car. "`` map to one string — and therefore one cache
+    entry — while multi-sentence structure ("a red car . the dog next
+    to it") is preserved.  Tokenisation is invariant under
+    normalisation: ``tokenize(normalize_query(q)) == tokenize(q)``.
+    """
+    parts = lex(str(query))
+    while parts and parts[-1] in PUNCTUATION:
+        parts.pop()
+    words: List[str] = []
+    for part in parts:
+        if part and part[0] in "'’" and words:
+            # Re-attach the possessive clitic so the normalised string
+            # round-trips through tokenize() unchanged.
+            words[-1] += "'" + part[1:]
+            continue
+        words.append(part)
+    return " ".join(words)

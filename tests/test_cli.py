@@ -103,6 +103,30 @@ class TestParser:
         assert "unknown scenario 'nope'" in stderr
         assert "driving" in stderr and "crowded" in stderr
 
+    def test_parse_defaults(self):
+        args = build_parser().parse_args(["parse", "--query", "the red car"])
+        assert args.query == "the red car"
+        assert args.format == "tree"
+        assert args.scenario is None
+        assert args.max_length == 24
+
+    def test_parse_unknown_format_lists_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["parse", "--query", "q", "--format", "nope"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown parse format 'nope'" in stderr
+        assert "tree" in stderr and "masks" in stderr
+
+    def test_parse_unknown_scenario_lists_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["parse", "--scenario", "nope"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown scenario 'nope'" in stderr
+        assert "compositional" in stderr
+
     def test_train_preset_parses(self):
         args = build_parser().parse_args(["train", "--preset", "tiny-focal"])
         assert args.preset == "tiny-focal"
@@ -218,6 +242,43 @@ class TestEndToEnd:
         assert "scenario crowded" in out
         assert "query mix" in out and "no_target" in out
         assert "oracle" in out and "largest-first" in out
+
+    def test_experiments_compositional_depth_breakdown(self, tmp_path,
+                                                       capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["experiments", "--scenario", "compositional",
+                     "--preset", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario compositional" in out
+        assert "clause depth" in out
+        assert "recall by clause depth" in out
+
+    def test_parse_command_formats(self, capsys):
+        query = "there is a red car . the dog next to it"
+        assert main(["parse", "--query", query]) == 0
+        out = capsys.readouterr().out
+        assert "entity" in out and "clause" in out
+
+        assert main(["parse", "--query", query,
+                     "--format", "tokens"]) == 0
+        out = capsys.readouterr().out
+        assert "dog" in out
+
+        assert main(["parse", "--query", query,
+                     "--format", "masks"]) == 0
+        masks_out = capsys.readouterr().out
+        assert "1" in masks_out
+
+        # Single-clause queries report the flat-token fallback.
+        assert main(["parse", "--query", "the red car",
+                     "--format", "masks"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback" in out
+
+    def test_parse_command_requires_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["parse"])
 
     def test_profile_train_step_writes_chrome_trace(self, tmp_path, capsys,
                                                     monkeypatch):

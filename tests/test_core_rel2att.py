@@ -108,6 +108,90 @@ class TestRel2AttModule:
         assert v.grad is not None and t.grad is not None
 
 
+class TestClauseConditioning:
+    def _masks(self, batch=2, clauses=2, n=3):
+        masks = np.zeros((batch, clauses, n))
+        masks[:, 0, :2] = 1.0
+        masks[:, 1, 1:] = 1.0
+        return masks
+
+    def test_zero_rows_bit_exact(self):
+        """All-zero clause rows are indistinguishable from no masks."""
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        _, _, att_v_a, att_t_a = module(v, t)
+        _, _, att_v_b, att_t_b = module(
+            v, t, clause_masks=np.zeros((2, 3, 3)))
+        assert np.array_equal(att_v_a.data, att_v_b.data)
+        assert np.array_equal(att_t_a.data, att_t_b.data)
+
+    def test_single_active_clause_bit_exact(self):
+        """One active clause is below the conditioning threshold."""
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        masks = np.zeros((2, 2, 3))
+        masks[:, 0, :] = 1.0
+        _, _, att_v_a, att_t_a = module(v, t)
+        _, _, att_v_b, att_t_b = module(v, t, clause_masks=masks)
+        assert np.array_equal(att_v_a.data, att_v_b.data)
+        assert np.array_equal(att_t_a.data, att_t_b.data)
+
+    def test_two_clauses_change_attention(self):
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        _, _, att_v_flat, _ = module(v, t)
+        _, _, att_v_cond, _ = module(v, t, clause_masks=self._masks())
+        assert not np.allclose(att_v_flat.data, att_v_cond.data)
+
+    def test_mixed_batch_per_sample_fallback(self):
+        """Zero-row samples stay bit-exact inside a conditioned batch."""
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        masks = self._masks()
+        masks[0] = 0.0  # sample 0 falls back, sample 1 conditions
+        _, _, att_v_flat, att_t_flat = module(v, t)
+        _, _, att_v, att_t = module(v, t, clause_masks=masks)
+        assert np.array_equal(att_v.data[0], att_v_flat.data[0])
+        assert np.array_equal(att_t.data[0], att_t_flat.data[0])
+        assert not np.allclose(att_v.data[1], att_v_flat.data[1])
+
+    def test_token_mask_still_respected(self):
+        """PAD positions stay zero even when a clause row covers them."""
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        token_mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 0.0]])
+        masks = np.zeros((2, 2, 3))
+        masks[:, 0, 0] = 1.0
+        masks[:, 1, 1:] = 1.0  # overlaps the PAD slot
+        _, _, _, att_t = module(v, t, token_mask, masks)
+        assert np.allclose(att_t.data[:, 2], 0.0)
+
+    def test_gradients_flow_with_clause_masks(self):
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        av, at, _, _ = module(v, t, clause_masks=self._masks())
+        (av.sum() + at.sum()).backward()
+        assert v.grad is not None and t.grad is not None
+
+    def test_no_new_parameters(self):
+        """Clause conditioning is pure pooling; checkpoints stay loadable."""
+        module = Rel2AttModule(config())
+        v, t = sequences()
+        module(v, t, clause_masks=self._masks())
+        names = set(module.state_dict())
+        fresh = set(Rel2AttModule(config()).state_dict())
+        assert names == fresh
+
+    def test_stack_accepts_clause_masks(self):
+        stack = Rel2AttStack(config())
+        v, t = sequences()
+        out_flat, _ = stack(v, t)
+        out_cond, masks = stack(v, t, clause_masks=self._masks())
+        assert out_cond.shape == v.shape
+        assert len(masks) == 2
+        assert not np.allclose(out_flat.data, out_cond.data)
+
+
 class TestRel2AttStack:
     def test_stack_depth_respected(self):
         stack = Rel2AttStack(config())

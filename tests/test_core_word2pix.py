@@ -78,6 +78,18 @@ class TestWord2PixStack:
         out, _ = stack(v, t)
         assert not np.allclose(out.data, v.data)
 
+    def test_clause_masks_kwarg_ignored(self):
+        """Word2Pix attention is already per-word; the clause kwarg is
+        accepted for interface parity and must not change the output."""
+        stack = Word2PixStack(config())
+        v, t = sequences()
+        out_plain, _ = stack(v, t)
+        masks = np.zeros((2, 2, 3))
+        masks[:, 0, :2] = 1.0
+        masks[:, 1, 1:] = 1.0
+        out_masked, _ = stack(v, t, clause_masks=masks)
+        assert np.array_equal(out_plain.data, out_masked.data)
+
     def test_state_dict_layout_mirrors_rel2att(self):
         """Both fusion stacks key their blocks ``blocks.layer{i}.`` so the
         model's state-dict prefix is fusion-agnostic."""

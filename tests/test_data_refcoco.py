@@ -97,6 +97,23 @@ class TestBuildDataset:
         # same-type density falls back to the single-referent subset.
         assert stats["targets"] <= stats["queries"]
 
+    def test_statistics_clause_depth_histogram(self, small_refcoco):
+        stats = dataset_statistics(small_refcoco)
+        for split, info in stats["splits"].items():
+            histogram = info["clause_depth_histogram"]
+            assert sum(histogram.values()) == len(small_refcoco[split])
+            assert all(depth >= 0 for depth in histogram)
+
+    def test_statistics_compositional_depths_spread(self):
+        from repro.experiments import ExperimentContext, get_preset
+
+        context = ExperimentContext(preset=get_preset("smoke"))
+        stats = dataset_statistics(
+            context.scenario_dataset("compositional"))
+        histogram = stats["splits"]["eval"]["clause_depth_histogram"]
+        # Nested relative clauses must show up beyond depth one.
+        assert max(histogram) >= 2
+
     def test_scaled_keeps_minimum(self):
         spec = REFCOCO.scaled(0.0001)
         assert min(spec.scenes_per_split.values()) >= 2

@@ -272,6 +272,41 @@ class TestRecallAtK:
             recall_at_k([np.empty((0, 4))], [], k=1)
 
 
+class TestClauseDepthRecall:
+    def _boxes(self, *rows):
+        return np.asarray(rows, dtype=np.float64).reshape(-1, 4)
+
+    def test_grouping_by_parse_depth(self):
+        from repro.eval import group_by_clause_depth
+
+        groups = group_by_clause_depth([
+            "the red car",                                     # depth 0
+            "the dog to the left of the car",                  # depth 1
+            "the dog next to the car that is to the left of "
+            "the lamp",                                        # depth 2
+            "???",                                             # unparseable
+        ])
+        assert groups[0] == [0, 3]
+        assert groups[1] == [1]
+        assert groups[2] == [2]
+
+    def test_recall_split_per_depth(self):
+        from repro.eval import recall_by_clause_depth
+
+        queries = ["the red car", "the dog to the left of the car"]
+        targets = [self._boxes([0, 0, 10, 10]), self._boxes([5, 5, 15, 15])]
+        ranked = [targets[0], self._boxes([90, 90, 99, 99])]  # depth-1 miss
+        result = recall_by_clause_depth(ranked, targets, queries, k=1)
+        assert result[0] == 1.0
+        assert result[1] == 0.0
+
+    def test_misalignment_rejected(self):
+        from repro.eval import recall_by_clause_depth
+
+        with pytest.raises(ValueError):
+            recall_by_clause_depth([np.empty((0, 4))], [], ["q"])
+
+
 class TestNoTargetReport:
     def test_counts_and_rates(self):
         report = no_target_report(

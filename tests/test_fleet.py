@@ -293,6 +293,25 @@ class TestRouterCache:
         # the hit never reached a replica
         assert sum(r["served"] for r in stats.replicas) == 1
 
+    def test_query_variants_share_entries_across_tiers(self):
+        """Whitespace/case variants of one query normalise at the router
+        front door: one router-cache entry, one replica round trip.
+        Replica caches are on too, so a missed normalisation would show
+        up as extra replica serves at either tier."""
+        samples = make_samples(1)
+        cfg = FleetConfig(replicas=2, max_queue=32, default_deadline=20.0,
+                          router_cache=32)
+        with FleetRouter(latency_spec(cache_size=16), cfg) as router:
+            assert router.wait_healthy(60.0)
+            first = router.ground(samples[0].image, "the red car")
+            for variant in ["  The red car. ", "THE RED CAR",
+                            "the  red\tcar!"]:
+                again = router.ground(samples[0].image, variant)
+                assert again.tobytes() == first.tobytes()
+            stats = router.stats()
+        assert stats.cache_hits == 3 and stats.cache_misses == 1
+        assert sum(r["served"] for r in stats.replicas) == 1
+
     def test_reload_flushes_replica_lru(self, tmp_path):
         """THE headline regression: replica-private LRUs must be cleared
         by the reload message, or repeats keep serving old-weight boxes.

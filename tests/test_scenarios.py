@@ -47,18 +47,27 @@ def weak_splits():
     return get_scenario("weak").build_splits(6)
 
 
+@pytest.fixture(scope="module")
+def compositional_samples():
+    return get_scenario("compositional").eval_samples(8)
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
     def test_all_three_scenarios_registered(self):
-        assert set(available_scenarios()) >= {"driving", "crowded", "weak"}
+        assert set(available_scenarios()) >= {
+            "driving", "crowded", "weak", "compositional"}
 
     def test_trace_mixes_registered(self):
         assert set(available_trace_mixes()) >= {
-            "driving", "crowded", "weak", "mixed"}
+            "driving", "crowded", "weak", "mixed", "compositional"}
+        # Compositional is its own mix; "mixed" keeps its original blend.
         assert set(get_trace_mix("mixed").weights) == {
             "driving", "crowded", "weak"}
+        assert set(get_trace_mix("compositional").weights) == {
+            "compositional"}
 
     def test_unknown_scenario_lists_registry(self):
         with pytest.raises(UnknownScenarioError) as excinfo:
@@ -82,7 +91,8 @@ class TestRegistry:
 # ----------------------------------------------------------------------
 # Determinism: same seed -> bit-identical workloads
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("name", ["driving", "crowded", "weak"])
+@pytest.mark.parametrize("name", ["driving", "crowded", "weak",
+                                  "compositional"])
 def test_scenario_builds_are_bit_identical(name):
     scenario = get_scenario(name)
     first = scenario.build_splits(3)
@@ -198,6 +208,61 @@ class TestCrowded:
             areas = (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
             assert np.all(np.diff(areas) <= 1e-9)  # non-increasing
             assert np.array_equal(sample.target_box, boxes[0])
+
+
+# ----------------------------------------------------------------------
+# Compositional scenario
+# ----------------------------------------------------------------------
+class TestCompositional:
+    def test_emits_all_three_query_types(self, compositional_samples):
+        kinds = {s.query_type for s in compositional_samples}
+        assert kinds == {"single", "multi", "no_target"}
+        assert all(s.scenario == "compositional"
+                   for s in compositional_samples)
+
+    def test_every_query_parses_non_trivially(self, compositional_samples):
+        from repro.lang import parse
+
+        for sample in compositional_samples:
+            tree = parse(sample.query)
+            assert not tree.is_trivial, sample.query
+
+    def test_resolution_matches_oracle_boxes(self, compositional_samples):
+        from repro.lang import parse, resolve_tree
+
+        for sample in compositional_samples:
+            resolved = resolve_tree(parse(sample.query), sample.scene)
+            assert len(resolved) == len(sample.all_target_boxes), \
+                sample.query
+            for obj, box in zip(resolved, sample.all_target_boxes):
+                assert np.allclose(obj.box, box)
+
+    def test_no_target_queries_use_anaphora(self, compositional_samples):
+        from repro.lang import parse
+
+        absent = [s for s in compositional_samples if s.is_no_target]
+        assert absent
+        for sample in absent:
+            tree = parse(sample.query)
+            assert tree.num_sentences >= 2
+            assert any(e.pronoun is not None and e.antecedent is not None
+                       for e in tree.entities), sample.query
+            assert sample.all_target_boxes.shape == (0, 4)
+            assert sample.target_index == -1
+
+    def test_nesting_reaches_depth_two(self, compositional_samples):
+        from repro.lang import parse
+
+        depths = {parse(s.query).depth() for s in compositional_samples}
+        assert max(depths) >= 2
+
+    def test_single_targets_are_consistent(self, compositional_samples):
+        singles = [s for s in compositional_samples
+                   if s.query_type == "single"]
+        assert singles
+        for sample in singles:
+            target = sample.scene.objects[sample.target_index]
+            assert np.array_equal(target.box, sample.target_box)
 
 
 # ----------------------------------------------------------------------

@@ -150,6 +150,21 @@ class TestServeEngine:
         assert all(b.tobytes() == boxes[0].tobytes() for b in boxes)
         assert stats.cache_hits == 5 and stats.cache_misses == 1
 
+    def test_query_variants_share_one_cache_entry(self):
+        """Whitespace/case/trailing-punctuation variants normalise at the
+        front door and hit one cache entry."""
+        stub = StubGrounder()
+        image = make_image(7)
+        with ServeEngine(stub, max_batch=4) as engine:
+            first = engine.ground(image, "the red car", timeout=10)
+            for variant in ["  The red car. ", "THE RED CAR",
+                            "the  red\tcar!"]:
+                again = engine.ground(image, variant, timeout=10)
+                assert again.tobytes() == first.tobytes()
+            stats = engine.stats()
+        assert sum(stub.batches) == 1
+        assert stats.cache_hits == 3 and stats.cache_misses == 1
+
     def test_cached_result_is_immutable_copy(self):
         stub = StubGrounder()
         image = make_image(2)

@@ -10,6 +10,8 @@ from repro.text import (
     Vocabulary,
     build_corpus,
     learned_position_table,
+    lex,
+    normalize_query,
     sinusoidal_position_table,
     tokenize,
 )
@@ -28,6 +30,82 @@ class TestTokenizer:
 
     def test_empty(self):
         assert tokenize("  ...  ") == []
+
+    def test_possessive_regression(self):
+        # The clitic used to survive as a stray "s" token.
+        assert tokenize("the man's hat") == ["the", "man", "hat"]
+        assert tokenize("the man’s hat") == ["the", "man", "hat"]
+
+    def test_byte_identical_without_possessives(self):
+        # The possessive fix must not perturb any other input.
+        cases = [
+            "The Red Dog", "dog, on the left!", "2 dogs", "  ...  ",
+            "the second car on my right", "all the blue balls",
+            "left-most dog", "he is wearing a hat", "cats claws",
+        ]
+        for text in cases:
+            import re
+
+            legacy = re.findall(r"[a-z0-9]+", text.lower())
+            assert tokenize(text) == legacy
+
+    def test_unicode_accents_split(self):
+        # Non-ASCII letters are not in the token alphabet; they split
+        # words the same way legacy tokenize always did.
+        assert tokenize("café dog") == ["caf", "dog"]
+
+    def test_hyphenation(self):
+        assert tokenize("left-most dog") == ["left", "most", "dog"]
+        assert lex("left-most dog") == ["left-most", "dog"]
+
+    def test_punctuation_only(self):
+        assert tokenize("?!.,;") == []
+        assert lex("?!.,;") == ["?", "!", ".", ",", ";"]
+
+
+class TestLexer:
+    def test_preserves_punctuation_and_boundaries(self):
+        assert lex("A man. The hat!") == ["a", "man", ".", "the", "hat", "!"]
+
+    def test_clitic_is_a_lexeme(self):
+        assert lex("the man's hat") == ["the", "man", "'s", "hat"]
+
+    def test_empty(self):
+        assert lex("") == []
+
+    def test_lossy_tokens_recoverable(self):
+        # Dropping punctuation/clitics from lex() gives tokenize().
+        for text in ["The man's hat.", "dog, left!", "a b . c"]:
+            words = [w for w in lex(text)
+                     if w[0].isalnum()]
+            flat = []
+            for word in words:
+                flat.extend(tokenize(word))
+            assert flat == tokenize(text)
+
+
+class TestNormalizeQuery:
+    def test_whitespace_and_case(self):
+        assert normalize_query(" The red car. ") == "the red car"
+        assert normalize_query("the red car") == "the red car"
+
+    def test_idempotent(self):
+        for query in [" The red car. ", "ALL the Blue balls",
+                      "there is a dog .  the cat next to it"]:
+            once = normalize_query(query)
+            assert normalize_query(once) == once
+
+    def test_preserves_token_sequence(self):
+        for query in [" The red car. ", "the man's hat",
+                      "there is a dog . the cat next to it!",
+                      "left-most dog", ""]:
+            assert tokenize(normalize_query(query)) == tokenize(query)
+
+    def test_internal_sentence_breaks_survive(self):
+        # Sentence structure is meaningful to the parser; only trailing
+        # punctuation is dropped.
+        normalized = normalize_query("There is a dog. The cat next to it.")
+        assert normalized == "there is a dog . the cat next to it"
 
 
 class TestVocabulary:
